@@ -1,0 +1,208 @@
+//! Common reproduction report types: throughput tables, bound
+//! comparisons, and figure series, with paper-vs-ours formatting.
+
+use serde::Serialize;
+
+/// One row of a throughput table: a source of a prediction/measurement
+/// and its value, next to the paper's.
+#[derive(Clone, Debug, Serialize)]
+pub struct ThroughputRow {
+    /// Prediction source (e.g. "Network calculus lower bound").
+    pub source: String,
+    /// Our reproduced value, MiB/s.
+    pub ours_mib_s: f64,
+    /// The paper's value, MiB/s (`None` when the paper has no
+    /// counterpart, e.g. extra diagnostics we add).
+    pub paper_mib_s: Option<f64>,
+}
+
+impl ThroughputRow {
+    /// Relative error vs the paper (`None` without a paper value).
+    pub fn rel_error(&self) -> Option<f64> {
+        self.paper_mib_s
+            .map(|p| (self.ours_mib_s - p) / p)
+    }
+}
+
+/// Delay/backlog bound comparison (model vs simulation vs paper).
+#[derive(Clone, Debug, Serialize)]
+pub struct BoundsReport {
+    /// Our modeled virtual-delay bound, seconds.
+    pub delay_bound_s: f64,
+    /// Our modeled backlog bound, bytes (input-referred).
+    pub backlog_bound_bytes: f64,
+    /// Our simulator's shortest observed delay, seconds.
+    pub sim_delay_min_s: f64,
+    /// Our simulator's longest observed delay, seconds.
+    pub sim_delay_max_s: f64,
+    /// Our simulator's peak backlog, bytes.
+    pub sim_backlog_bytes: f64,
+    /// Paper's modeled delay bound, seconds.
+    pub paper_delay_bound_s: f64,
+    /// Paper's modeled backlog bound, bytes.
+    pub paper_backlog_bound_bytes: f64,
+    /// Paper's simulated delay range, seconds.
+    pub paper_sim_delay_s: (f64, f64),
+    /// Paper's simulated peak backlog, bytes.
+    pub paper_sim_backlog_bytes: f64,
+}
+
+impl BoundsReport {
+    /// The paper's corroboration claim: simulated delay and backlog
+    /// stay within the modeled bounds.
+    pub fn sim_within_bounds(&self) -> bool {
+        self.sim_delay_max_s <= self.delay_bound_s && self.sim_backlog_bytes <= self.backlog_bound_bytes
+    }
+}
+
+/// Data series for one figure (Figures 1, 4, and 10): cumulative data
+/// (bytes) against time (seconds).
+#[derive(Clone, Debug, Serialize)]
+pub struct FigureSeries {
+    /// Figure identifier ("fig4", …).
+    pub name: String,
+    /// Arrival curve α(t) samples.
+    pub alpha: Vec<(f64, f64)>,
+    /// Service curve β(t) samples (lower bound).
+    pub beta: Vec<(f64, f64)>,
+    /// Output flow bound α*(t) samples.
+    pub alpha_star: Vec<(f64, f64)>,
+    /// Simulated cumulative-output stairstep.
+    pub sim: Vec<(f64, f64)>,
+}
+
+impl FigureSeries {
+    /// Emit a CSV with one column per series, suitable for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("series,t_seconds,bytes\n");
+        for (label, pts) in [
+            ("alpha", &self.alpha),
+            ("beta", &self.beta),
+            ("alpha_star", &self.alpha_star),
+            ("sim", &self.sim),
+        ] {
+            for (t, v) in pts {
+                s.push_str(&format!("{label},{t},{v}\n"));
+            }
+        }
+        s
+    }
+
+    /// Figure-4/10 sanity: the sim stairstep must lie between β and
+    /// α* wherever defined.
+    pub fn sim_between_bounds(&self, tolerance: f64) -> bool {
+        self.sim.iter().all(|&(t, v)| {
+            let beta_at = interp(&self.beta, t);
+            let star_at = interp(&self.alpha_star, t);
+            v + tolerance >= beta_at && v <= star_at + tolerance
+        })
+    }
+}
+
+/// Linear interpolation over a sampled series (clamped at the ends).
+pub fn interp(series: &[(f64, f64)], t: f64) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    if t <= series[0].0 {
+        return series[0].1;
+    }
+    for w in series.windows(2) {
+        let (t0, v0) = w[0];
+        let (t1, v1) = w[1];
+        if t <= t1 {
+            if t1 == t0 {
+                return v1;
+            }
+            return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+        }
+    }
+    series[series.len() - 1].1
+}
+
+/// Render rows as an aligned text table.
+pub fn format_table(title: &str, rows: &[ThroughputRow]) -> String {
+    let mut s = format!("{title}\n");
+    s.push_str(&format!(
+        "  {:<38} {:>12} {:>12} {:>8}\n",
+        "Source", "Ours", "Paper", "Err"
+    ));
+    for r in rows {
+        let paper = r
+            .paper_mib_s
+            .map(|p| format!("{p:.0} MiB/s"))
+            .unwrap_or_else(|| "-".into());
+        let err = r
+            .rel_error()
+            .map(|e| format!("{:+.1}%", e * 100.0))
+            .unwrap_or_else(|| "-".into());
+        s.push_str(&format!(
+            "  {:<38} {:>7.0} MiB/s {:>12} {:>8}\n",
+            r.source, r.ours_mib_s, paper, err
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_error() {
+        let r = ThroughputRow {
+            source: "x".into(),
+            ours_mib_s: 110.0,
+            paper_mib_s: Some(100.0),
+        };
+        assert!((r.rel_error().unwrap() - 0.1).abs() < 1e-12);
+        let r2 = ThroughputRow {
+            source: "y".into(),
+            ours_mib_s: 1.0,
+            paper_mib_s: None,
+        };
+        assert_eq!(r2.rel_error(), None);
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = vec![(0.0, 0.0), (1.0, 10.0), (2.0, 10.0)];
+        assert_eq!(interp(&s, -1.0), 0.0);
+        assert_eq!(interp(&s, 0.5), 5.0);
+        assert_eq!(interp(&s, 1.5), 10.0);
+        assert_eq!(interp(&s, 5.0), 10.0);
+        assert_eq!(interp(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn csv_has_all_series() {
+        let f = FigureSeries {
+            name: "t".into(),
+            alpha: vec![(0.0, 1.0)],
+            beta: vec![(0.0, 0.0)],
+            alpha_star: vec![(0.0, 2.0)],
+            sim: vec![(0.0, 0.5)],
+        };
+        let csv = f.to_csv();
+        for label in ["alpha,", "beta,", "alpha_star,", "sim,"] {
+            assert!(csv.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn bounds_check() {
+        let f = FigureSeries {
+            name: "t".into(),
+            alpha: vec![],
+            beta: vec![(0.0, 0.0), (1.0, 10.0)],
+            alpha_star: vec![(0.0, 5.0), (1.0, 30.0)],
+            sim: vec![(0.5, 6.0)],
+        };
+        assert!(f.sim_between_bounds(0.0));
+        let g = FigureSeries {
+            sim: vec![(0.5, 2.0)], // below beta(0.5) = 5
+            ..f
+        };
+        assert!(!g.sim_between_bounds(0.0));
+    }
+}

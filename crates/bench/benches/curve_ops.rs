@@ -1,0 +1,138 @@
+//! Microbenchmarks of the exact min-plus algebra, including the
+//! design-choice ablations called out in DESIGN.md §6: closed-form
+//! shortcuts vs the general envelope algorithm, and the cost of
+//! packetization and pipeline-scale concatenation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nc_core::curve::{shapes, Curve};
+use nc_core::num::Rat;
+use nc_core::ops::{min_plus_conv, min_plus_deconv, subadditive_closure};
+use nc_core::{bounds, packetizer};
+
+fn lb(r: i64, b: i64) -> Curve {
+    shapes::leaky_bucket(Rat::int(r), Rat::int(b))
+}
+fn rl(r: i64, t: i64) -> Curve {
+    shapes::rate_latency(Rat::int(r), Rat::int(t))
+}
+
+/// A staircase-plus-rate curve with `n` breakpoints: the general-path
+/// stressor (neither concave nor convex).
+fn stair(n: usize) -> Curve {
+    shapes::truncated_staircase(Rat::int(3), Rat::int(2), n)
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv");
+    // Closed-form fast paths.
+    g.bench_function("concave_fastpath_lb_lb", |b| {
+        let (x, y) = (lb(2, 5), lb(1, 9));
+        b.iter(|| black_box(min_plus_conv(&x, &y)))
+    });
+    g.bench_function("delay_fastpath", |b| {
+        let (x, y) = (rl(3, 2), shapes::delta(Rat::int(4)));
+        b.iter(|| black_box(min_plus_conv(&x, &y)))
+    });
+    // General envelope path, growing operand complexity.
+    for n in [2usize, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("general_stair_x_rl", n), &n, |b, &n| {
+            let (x, y) = (stair(n), rl(2, 3));
+            b.iter(|| black_box(min_plus_conv(&x, &y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_deconv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deconv");
+    g.bench_function("lb_by_rl", |b| {
+        let (x, y) = (lb(2, 5), rl(3, 4));
+        b.iter(|| black_box(min_plus_deconv(&x, &y)))
+    });
+    for n in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("stair_by_rl", n), &n, |b, &n| {
+            let (x, y) = (stair(n), rl(4, 1));
+            b.iter(|| black_box(min_plus_deconv(&x, &y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bounds");
+    let (alpha, beta, gamma) = (lb(2, 5), rl(3, 4), shapes::constant_rate(Rat::int(4)));
+    g.bench_function("backlog", |b| {
+        b.iter(|| black_box(bounds::backlog_bound(&alpha, &beta)))
+    });
+    g.bench_function("delay", |b| {
+        b.iter(|| black_box(bounds::delay_bound(&alpha, &beta)))
+    });
+    g.bench_function("output_with_max", |b| {
+        b.iter(|| black_box(bounds::output_bound_with_max(&alpha, &gamma, &beta)))
+    });
+    g.bench_function("packetize_triple", |b| {
+        b.iter(|| black_box(packetizer::packetize(&alpha, &beta, &gamma, Rat::int(3))))
+    });
+    g.finish();
+}
+
+fn bench_pipeline_scale(c: &mut Criterion) {
+    // Concatenating k rate-latency servers: the §4.2 composition.
+    let mut g = c.benchmark_group("concat");
+    for k in [2usize, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("rate_latency_chain", k), &k, |b, &k| {
+            let curves: Vec<Curve> = (0..k)
+                .map(|i| rl(10 + i as i64, 1 + (i as i64 % 3)))
+                .collect();
+            b.iter(|| {
+                let mut acc = curves[0].clone();
+                for c in &curves[1..] {
+                    acc = min_plus_conv(&acc, c);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation (DESIGN.md §6): exact rational bounds vs grid-sampled f64
+/// estimates. Exactness costs time; this quantifies how much.
+fn bench_exact_vs_sampled(c: &mut Criterion) {
+    use nc_core::curve::approx::{sampled_backlog, sampled_delay};
+    use nc_core::ops::{horizontal_deviation, vertical_deviation};
+    let alpha = lb(2, 5).min(&shapes::constant_rate(Rat::int(7)));
+    let beta = rl(3, 4).add(&rl(1, 1));
+    let mut g = c.benchmark_group("ablation_exact_vs_sampled");
+    g.bench_function("exact_backlog_delay", |b| {
+        b.iter(|| {
+            black_box(vertical_deviation(&alpha, &beta));
+            black_box(horizontal_deviation(&alpha, &beta));
+        })
+    });
+    for n in [64usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("sampled", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(sampled_backlog(&alpha, &beta, Rat::int(50), n));
+                black_box(sampled_delay(&alpha, &beta, Rat::int(50), n));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    c.bench_function("subadditive_closure_rl_8iters", |b| {
+        let f = rl(3, 2);
+        b.iter(|| black_box(subadditive_closure(&f, 8)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_conv, bench_deconv, bench_bounds, bench_pipeline_scale, bench_exact_vs_sampled, bench_closure
+}
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Microbenchmarks of the discrete-event kernel: raw event throughput,
+//! queue accounting, and an M/M/1 end-to-end run — the simulator cost
+//! model behind every Figure 4/10 stairstep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nc_des::{ByteQueue, Dist, Sim, Span, Time};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("events");
+    for n in [1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Sim::new(0u64);
+                fn tick(sim: &mut Sim<u64>) {
+                    sim.state += 1;
+                }
+                for i in 0..n {
+                    sim.schedule_at(Time::secs(i as f64 * 1e-6), tick);
+                }
+                sim.run();
+                black_box(sim.state)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_self_scheduling(c: &mut Criterion) {
+    c.bench_function("events/self_rescheduling_50k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0u64);
+            fn tick(sim: &mut Sim<u64>) {
+                sim.state += 1;
+                if sim.state < 50_000 {
+                    sim.schedule_in(Span::secs(1e-6), tick);
+                }
+            }
+            sim.schedule_at(Time::ZERO, tick);
+            sim.run();
+            black_box(sim.state)
+        })
+    });
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    c.bench_function("queue/put_get_cycle", |b| {
+        b.iter(|| {
+            let mut q = ByteQueue::bounded(Time::ZERO, 1 << 20);
+            for i in 0..1000u64 {
+                let t = Time::secs(i as f64 * 1e-6);
+                q.put(t, 512);
+                q.get(t, 512);
+            }
+            black_box(q.total_out())
+        })
+    });
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist");
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for (name, d) in [
+        ("uniform", Dist::Uniform { lo: 1.0, hi: 2.0 }),
+        ("exponential", Dist::Exponential { mean: 1.5 }),
+        ("constant", Dist::Constant(1.0)),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(d.sample(&mut rng))));
+    }
+    g.finish();
+}
+
+fn bench_mm1(c: &mut Criterion) {
+    c.bench_function("mm1/10k_jobs", |b| {
+        b.iter(|| {
+            // Inline M/M/1: measures realistic event mix (arrivals,
+            // departures, stats updates).
+            struct St {
+                rng: ChaCha8Rng,
+                arrival: Dist,
+                service: Dist,
+                q: u32,
+                done: u32,
+            }
+            fn arrive(sim: &mut Sim<St>) {
+                sim.state.q += 1;
+                if sim.state.q == 1 {
+                    depart_schedule(sim);
+                }
+                let d = Span::secs(sim.state.arrival.sample(&mut sim.state.rng));
+                if sim.state.done < 10_000 {
+                    sim.schedule_in(d, arrive);
+                }
+            }
+            fn depart_schedule(sim: &mut Sim<St>) {
+                let d = Span::secs(sim.state.service.sample(&mut sim.state.rng));
+                sim.schedule_in(d, |sim| {
+                    sim.state.q -= 1;
+                    sim.state.done += 1;
+                    if sim.state.q > 0 {
+                        depart_schedule(sim);
+                    }
+                });
+            }
+            let mut sim = Sim::new(St {
+                rng: ChaCha8Rng::seed_from_u64(9),
+                arrival: Dist::Exponential { mean: 2.0 },
+                service: Dist::Exponential { mean: 1.0 },
+                q: 0,
+                done: 0,
+            });
+            sim.schedule_at(Time::ZERO, arrive);
+            sim.run();
+            black_box(sim.state.done)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_event_throughput, bench_self_scheduling, bench_queue_ops, bench_distributions, bench_mm1
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Workload-kernel throughput benches — the Criterion side of Table 2:
+//! LZ4 compress/decompress, AES-256-CBC encrypt/decrypt, fa2bit, and
+//! the BLASTN stages, each measured on the data it would see in the
+//! paper's pipelines. Criterion's `throughput` reporting prints MiB/s
+//! directly comparable with `results/table2.txt`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use nc_workloads::aes::{cbc_decrypt_raw, cbc_encrypt_raw, Aes256};
+use nc_workloads::blast::{blast_search, QueryIndex, UngappedParams};
+use nc_workloads::fasta::{fa2bit, random_dna};
+use nc_workloads::lz4;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn text_like(len: usize, seed: u64) -> Vec<u8> {
+    let vocab: [&[u8]; 8] = [
+        b"stream", b"data", b"node", b"queue", b"rate", b"burst", b"delay", b"curve",
+    ];
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut v = Vec::with_capacity(len + 8);
+    while v.len() < len {
+        v.extend_from_slice(vocab[rng.gen_range(0..vocab.len())]);
+        v.push(b' ');
+    }
+    v.truncate(len);
+    v
+}
+
+fn bench_lz4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lz4");
+    for size in [64 << 10, 1 << 20] {
+        let data = text_like(size, 1);
+        let compressed = lz4::compress(&data);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("compress", size), &data, |b, d| {
+            b.iter(|| black_box(lz4::compress(d)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("decompress", size),
+            &compressed,
+            |b, d| b.iter(|| black_box(lz4::decompress(d, size).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aes256_cbc");
+    let aes = Aes256::new(&[7u8; 32]);
+    let iv = [1u8; 16];
+    for size in [64usize << 10, 1 << 20] {
+        let mut buf = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("encrypt", size), &size, |b, _| {
+            b.iter(|| {
+                cbc_encrypt_raw(&aes, &iv, &mut buf);
+                black_box(buf[0])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("decrypt", size), &size, |b, _| {
+            b.iter(|| {
+                cbc_decrypt_raw(&aes, &iv, &mut buf).unwrap();
+                black_box(buf[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fa2bit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fa2bit");
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let seq = random_dna(1 << 20, &mut rng);
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("pack_1MiB", |b| b.iter(|| black_box(fa2bit(&seq))));
+    g.finish();
+}
+
+fn bench_blast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blast");
+    g.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let query = random_dna(512, &mut rng);
+    let db = random_dna(1 << 20, &mut rng);
+    let qp = fa2bit(&query);
+    let dbp = fa2bit(&db);
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("full_search_1MiB_db", |b| {
+        b.iter(|| black_box(blast_search(&query, &db, &UngappedParams::default())))
+    });
+    g.bench_function("seed_match_1MiB_db", |b| {
+        let idx = QueryIndex::build(&qp, query.len());
+        b.iter(|| black_box(nc_workloads::blast::seed_match(&dbp, db.len(), &idx)))
+    });
+    g.bench_function("index_build_512b_query", |b| {
+        b.iter(|| black_box(QueryIndex::build(&qp, query.len())))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_lz4, bench_aes, bench_fa2bit, bench_blast
+}
+criterion_main!(benches);

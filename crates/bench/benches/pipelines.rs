@@ -1,0 +1,120 @@
+//! End-to-end model benches: building the network-calculus models and
+//! running the discrete-event simulations for both paper applications,
+//! plus the DESIGN.md §6 ablations (packetized vs fluid curves,
+//! bounded vs unbounded simulation queues, chunk-size sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nc_apps::{bitw, blast};
+use nc_core::num::Rat;
+use nc_streamsim::simulate;
+
+fn bench_model_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_build");
+    g.bench_function("blast_isolated", |b| {
+        let p = blast::isolated_pipeline();
+        b.iter(|| black_box(p.build_model()))
+    });
+    g.bench_function("bitw_all_scenarios", |b| {
+        b.iter(|| {
+            black_box(bitw::pipeline(bitw::Scenario::Pessimistic).build_model());
+            black_box(bitw::pipeline(bitw::Scenario::Average).build_model());
+            black_box(bitw::pipeline(bitw::Scenario::Optimistic).build_model());
+        })
+    });
+    g.finish();
+}
+
+fn bench_bounds_extraction(c: &mut Criterion) {
+    let model = blast::isolated_pipeline().build_model();
+    let mut g = c.benchmark_group("model_query");
+    g.bench_function("blast_heuristic_bounds", |b| {
+        b.iter(|| {
+            black_box(model.heuristic_backlog());
+            black_box(model.heuristic_delay());
+        })
+    });
+    g.bench_function("blast_subset_analysis", |b| {
+        b.iter(|| black_box(model.subset(3, 5)))
+    });
+    g.finish();
+}
+
+fn bench_simulations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    g.bench_function("bitw_2MiB", |b| {
+        let p = bitw::sim_pipeline();
+        let cfg = bitw::sim_config(1);
+        b.iter(|| black_box(simulate(&p, &cfg)))
+    });
+    g.bench_function("blast_64MiB", |b| {
+        let p = blast::deployed_pipeline();
+        let mut cfg = blast::sim_config(1);
+        cfg.total_input = 64 << 20;
+        b.iter(|| black_box(simulate(&p, &cfg)))
+    });
+    g.finish();
+}
+
+/// Ablation: bounded-queue backpressure vs the paper's unbounded
+/// queues (simulation cost and behaviour differ).
+fn bench_backpressure_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_queues");
+    g.sample_size(10);
+    let p = blast::deployed_pipeline();
+    for bounded in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("blast_32MiB_bounded", bounded),
+            &bounded,
+            |b, &bounded| {
+                let mut cfg = blast::sim_config(1);
+                cfg.total_input = 32 << 20;
+                cfg.queue_capacities = if bounded {
+                    Some(vec![
+                        2 << 20,
+                        512 << 10,
+                        256 << 10,
+                        768 << 10,
+                        1536 << 10,
+                        192 << 10,
+                        384 << 10,
+                        48 << 10,
+                    ])
+                } else {
+                    None
+                };
+                b.iter(|| black_box(simulate(&p, &cfg)))
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Ablation: the bump-in-the-wire chunk-size sweep (1 KiB paper
+/// default) — smaller chunks mean more events per byte.
+fn bench_chunk_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_chunk");
+    g.sample_size(10);
+    for chunk in [512u64, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("bitw_2MiB", chunk), &chunk, |b, &chunk| {
+            let mut p = bitw::sim_pipeline();
+            for n in &mut p.nodes {
+                n.job_in = Rat::int(chunk as i64);
+                n.job_out = Rat::int(chunk as i64);
+            }
+            let mut cfg = bitw::sim_config(1);
+            cfg.source_chunk = Some(chunk);
+            b.iter(|| black_box(simulate(&p, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_model_build, bench_bounds_extraction, bench_simulations, bench_backpressure_ablation, bench_chunk_sweep
+}
+criterion_main!(benches);

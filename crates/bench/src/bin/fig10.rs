@@ -1,0 +1,15 @@
+//! Figure 10 reproduction: bump-in-the-wire network-calculus curves
+//! (α, β, α*; γ omitted as in the paper) and the simulated stairstep.
+
+use nc_apps::bitw;
+
+fn main() {
+    let r = bitw::reproduce(42);
+    let fig = bitw::figure10(&r, 160);
+    nc_bench::emit("fig10.csv", &fig.to_csv());
+    println!(
+        "Figure 10: {} sim points, stairstep within [beta, alpha*]: {}",
+        fig.sim.len(),
+        fig.sim_between_bounds(1024.0)
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 4 reproduction: BLAST network-calculus curves (α, β, α*) and
+//! the simulated cumulative-output stairstep.
+
+use nc_apps::blast;
+
+fn main() {
+    let r = blast::reproduce(42);
+    let fig = blast::figure4(&r, 160);
+    nc_bench::emit("fig4.csv", &fig.to_csv());
+    println!(
+        "Figure 4: {} sim points, stairstep within [beta, alpha*]: {}",
+        fig.sim.len(),
+        fig.sim_between_bounds(1024.0)
+    );
+}

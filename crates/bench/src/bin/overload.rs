@@ -1,0 +1,65 @@
+//! E10 artifact: the overload sweep (the paper's §6 future-work
+//! direction). Sweeps the offered load across the three §3 regimes and
+//! records, per point: the exact backlog bound (diverging at overload),
+//! the closed-form heuristic, and the simulator's observations.
+
+use nc_core::num::Rat;
+use nc_core::pipeline::{Node, NodeKind, Pipeline, Source, StageRates};
+use nc_core::units::mib_per_s;
+use nc_streamsim::{simulate, SimConfig};
+
+fn pipeline(offered_mib_s: f64) -> Pipeline {
+    Pipeline::new(
+        "overload sweep",
+        Source {
+            rate: mib_per_s(offered_mib_s),
+            burst: Rat::int(64 << 10),
+        },
+        vec![Node::new(
+            "kernel",
+            NodeKind::Compute,
+            StageRates::new(mib_per_s(95.0), mib_per_s(100.0), mib_per_s(105.0)),
+            Rat::new(1, 1000),
+            Rat::int(64 << 10),
+            Rat::int(64 << 10),
+        )],
+    )
+}
+
+fn main() {
+    const MIB: f64 = 1048576.0;
+    let mut csv =
+        String::from("offered_mib_s,regime,exact_backlog_mib,heuristic_backlog_mib,sim_throughput_mib_s,sim_peak_backlog_mib,sim_delay_max_ms,bottleneck_utilization\n");
+    let mut load = 40.0;
+    while load <= 160.0 + 1e-9 {
+        let p = pipeline(load);
+        let m = p.build_model();
+        let sim = simulate(
+            &p,
+            &SimConfig {
+                seed: 5,
+                total_input: 64 << 20,
+                source_chunk: Some(64 << 10),
+                queue_capacity: None,
+                queue_capacities: None,
+                service_model: nc_streamsim::ServiceModel::Uniform,
+                trace: false,
+            },
+        );
+        let exact = match m.backlog_bound() {
+            nc_core::Value::Finite(x) => format!("{:.4}", x.to_f64() / MIB),
+            _ => "inf".into(),
+        };
+        csv.push_str(&format!(
+            "{load},{:?},{exact},{:.4},{:.2},{:.4},{:.3},{:.3}\n",
+            m.regime(),
+            m.heuristic_backlog().to_f64() / MIB,
+            sim.throughput / MIB,
+            sim.peak_backlog / MIB,
+            sim.delay_max * 1e3,
+            sim.per_node[0].utilization,
+        ));
+        load += 5.0;
+    }
+    nc_bench::emit("overload_sweep.csv", &csv);
+}

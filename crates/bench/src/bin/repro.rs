@@ -1,0 +1,67 @@
+//! Run the complete reproduction: every table and figure, written to
+//! `results/`. This is the one-command regeneration entry point cited
+//! by EXPERIMENTS.md.
+
+use nc_apps::{bitw, blast, format_table};
+
+fn main() {
+    println!("=== streamcalc full reproduction ===\n");
+
+    // --- Figure 1 (conceptual geometry) ---
+    // Delegated: identical to the fig1 binary's computation.
+    let alpha = nc_core::curve::shapes::leaky_bucket(
+        nc_core::num::Rat::int(1),
+        nc_core::num::Rat::int(4),
+    );
+    let beta = nc_core::curve::shapes::rate_latency(
+        nc_core::num::Rat::int(2),
+        nc_core::num::Rat::int(2),
+    );
+    println!(
+        "Figure 1 geometry: x = {:?}, d = {:?}\n",
+        nc_core::bounds::backlog_bound(&alpha, &beta),
+        nc_core::bounds::delay_bound(&alpha, &beta),
+    );
+
+    // --- BLAST (Sec. 4) ---
+    let b = blast::reproduce(42);
+    let mut t1 = format_table(
+        "Table 1: BLAST streaming data application throughput",
+        &b.table1,
+    );
+    t1.push('\n');
+    t1.push_str(&nc_bench::format_bounds("BLAST (Sec. 4.2)", &b.bounds));
+    nc_bench::emit("table1.txt", &t1);
+    nc_bench::emit_json("table1.json", &b.table1);
+    let fig4 = blast::figure4(&b, 160);
+    nc_bench::emit("fig4.csv", &fig4.to_csv());
+
+    // --- Bump in the wire (Sec. 5) ---
+    let (rows, ratio) = bitw::measure_table2(4 << 20, 9);
+    let mut t2 = String::from(
+        "Table 2: function throughputs (our CPU kernels vs the paper's FPGA kernels)\n",
+    );
+    for r in &rows {
+        t2.push_str(&format!(
+            "  {:<12} ours {:>8.0}/{:>8.0}/{:>8.0}   paper {:>6.0}/{:>6.0}/{:>6.0} MiB/s\n",
+            r.function, r.ours.0, r.ours.1, r.ours.2, r.paper.0, r.paper.1, r.paper.2
+        ));
+    }
+    t2.push_str(&format!("  observed LZ4 ratio: {ratio:.2}x\n"));
+    nc_bench::emit("table2.txt", &t2);
+    nc_bench::emit_json("table2.json", &rows);
+
+    let w = bitw::reproduce(42);
+    let mut t3 = format_table(
+        "Table 3: bump-in-the-wire streaming data application throughput",
+        &w.table3,
+    );
+    t3.push('\n');
+    t3.push_str(&nc_bench::format_bounds("Bump-in-the-wire (Sec. 5)", &w.bounds));
+    nc_bench::emit("table3.txt", &t3);
+    nc_bench::emit_json("table3.json", &w.table3);
+    let fig10 = bitw::figure10(&w, 160);
+    nc_bench::emit("fig10.csv", &fig10.to_csv());
+
+    println!("\n=== reproduction complete; artifacts in results/ ===");
+}

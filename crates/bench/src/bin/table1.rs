@@ -1,0 +1,17 @@
+//! Table 1 reproduction: BLAST throughput predictions from network
+//! calculus, the discrete-event simulation, and the queueing baseline,
+//! plus the §4.2 delay/backlog findings.
+
+use nc_apps::{blast, format_table};
+
+fn main() {
+    let r = blast::reproduce(42);
+    let mut out = format_table(
+        "Table 1: BLAST streaming data application throughput",
+        &r.table1,
+    );
+    out.push('\n');
+    out.push_str(&nc_bench::format_bounds("BLAST (Sec. 4.2)", &r.bounds));
+    nc_bench::emit("table1.txt", &out);
+    nc_bench::emit_json("table1.json", &r.table1);
+}

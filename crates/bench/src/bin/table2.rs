@@ -1,0 +1,28 @@
+//! Table 2 reproduction: bump-in-the-wire stage throughputs. Our
+//! kernels (LZ4, AES-256-CBC, link models) are measured in isolation on
+//! this machine — the paper's methodology on our substrate — and
+//! printed next to the paper's FPGA kernel rates.
+
+use nc_apps::bitw;
+
+fn main() {
+    let (rows, ratio) = bitw::measure_table2(4 << 20, 9);
+    let mut out = String::from(
+        "Table 2: function throughputs (our CPU kernels vs the paper's FPGA kernels)\n",
+    );
+    out.push_str(&format!(
+        "  {:<12} {:>30} {:>30}\n",
+        "Function", "Ours avg/min/max (MiB/s)", "Paper avg/min/max (MiB/s)"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "  {:<12} {:>10.0}/{:.0}/{:.0} {:>16.0}/{:.0}/{:.0}\n",
+            r.function, r.ours.0, r.ours.1, r.ours.2, r.paper.0, r.paper.1, r.paper.2
+        ));
+    }
+    out.push_str(&format!(
+        "  observed LZ4 ratio on synthetic text: {ratio:.2}x (paper: 2.2x avg, 1.0x min, 5.3x max)\n"
+    ));
+    nc_bench::emit("table2.txt", &out);
+    nc_bench::emit_json("table2.json", &rows);
+}

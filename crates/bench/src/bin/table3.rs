@@ -1,0 +1,16 @@
+//! Table 3 reproduction: bump-in-the-wire throughput predictions plus
+//! the §5 delay/backlog findings.
+
+use nc_apps::{bitw, format_table};
+
+fn main() {
+    let r = bitw::reproduce(42);
+    let mut out = format_table(
+        "Table 3: bump-in-the-wire streaming data application throughput",
+        &r.table3,
+    );
+    out.push('\n');
+    out.push_str(&nc_bench::format_bounds("Bump-in-the-wire (Sec. 5)", &r.bounds));
+    nc_bench::emit("table3.txt", &out);
+    nc_bench::emit_json("table3.json", &r.table3);
+}

@@ -1,0 +1,92 @@
+//! # nc-bench — the reproduction harness
+//!
+//! One binary per table/figure of the paper:
+//!
+//! | Binary   | Paper artifact |
+//! |----------|----------------|
+//! | `fig1`   | Figure 1 — curve geometry (α, β, γ, backlog, delay, α*) |
+//! | `table1` | Table 1 — BLAST throughput, plus the §4.2 d/x findings |
+//! | `fig4`   | Figure 4 — BLAST curves + simulated stairstep |
+//! | `table2` | Table 2 — bump-in-the-wire stage throughputs (our kernels measured in isolation vs the paper's FPGA kernels) |
+//! | `table3` | Table 3 — bump-in-the-wire throughput, plus the §5 d/x findings |
+//! | `fig10`  | Figure 10 — bump-in-the-wire curves + stairstep |
+//! | `repro`  | everything above, writing `results/*.{txt,csv,json}` |
+//!
+//! Criterion microbenches cover the substrates: exact curve algebra
+//! (`curve_ops`), the DES kernel (`des_engine`), the workload kernels
+//! (`kernels` — the measurement side of Table 2), and full model
+//! construction + simulation (`pipelines`).
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Resolve (and create) the `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let dir = root.join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a text artifact into `results/`, echoing to stdout.
+pub fn emit(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("{contents}");
+    println!("[written {}]", path.display());
+}
+
+/// Serialize a value as pretty JSON into `results/`.
+pub fn emit_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(name);
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("[written {}]", path.display());
+}
+
+/// Format the bounds comparison section shared by `table1`/`table3`.
+pub fn format_bounds(app: &str, b: &nc_apps::BoundsReport) -> String {
+    use nc_core::num::Rat;
+    use nc_core::units::{fmt_bytes, fmt_time};
+    use nc_core::Value;
+    let t = |x: f64| fmt_time(Value::finite(Rat::from_f64(x)));
+    let by = |x: f64| fmt_bytes(Value::finite(Rat::from_f64(x)));
+    format!(
+        "{app} delay/backlog findings\n\
+         \x20 virtual delay bound d        {:>12}   (paper {})\n\
+         \x20 backlog bound x              {:>12}   (paper {})\n\
+         \x20 sim observed delay           [{} .. {}]   (paper [{} .. {}])\n\
+         \x20 sim peak backlog             {:>12}   (paper {})\n\
+         \x20 sim within modeled bounds:   {}\n",
+        t(b.delay_bound_s),
+        t(b.paper_delay_bound_s),
+        by(b.backlog_bound_bytes),
+        by(b.paper_backlog_bound_bytes),
+        t(b.sim_delay_min_s),
+        t(b.sim_delay_max_s),
+        t(b.paper_sim_delay_s.0),
+        t(b.paper_sim_delay_s.1),
+        by(b.sim_backlog_bytes),
+        by(b.paper_sim_backlog_bytes),
+        if b.sim_within_bounds() { "YES" } else { "NO" },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists() {
+        let d = results_dir();
+        assert!(d.is_dir());
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,291 @@
+//! The performance bounds of §3 of the paper.
+//!
+//! Given an arrival curve `α`, a service curve `β`, and optionally a
+//! maximum service curve `γ`, network calculus yields:
+//!
+//! * **backlog bound** `x ≤ sup_t {α(t) − β(t)}`,
+//! * **virtual delay bound** `d ≤ sup_t inf{d : α(t) ≤ β(t+d)}`,
+//! * **output flow bound** `α* = (α ⊗ γ) ⊘ β`.
+//!
+//! The paper's §3 prints the output bound as `(α ⊗ γ) ⊗ β` but
+//! describes "calculating both a min-plus convolution and a min-plus
+//! de-convolution"; the standard result (Le Boudec & Thiran, Thm 1.4.3)
+//! is the deconvolution, which we implement (see DESIGN.md §5).
+//!
+//! All bounds are exact rational computations; the overload case
+//! `R_α > R_β` correctly yields `+∞` (the same divergence queueing
+//! theory predicts for ρ > 1).
+
+use crate::curve::pwl::Curve;
+use crate::num::{Rat, Value};
+use crate::ops::{horizontal_deviation, min_plus_conv, min_plus_deconv, vertical_deviation};
+
+/// Maximum data resident in the system (the paper's `x(t)` bound).
+pub fn backlog_bound(arrival: &Curve, service: &Curve) -> Value {
+    vertical_deviation(arrival, service)
+}
+
+/// Maximum virtual delay through the system (the paper's `d(t)` bound).
+pub fn delay_bound(arrival: &Curve, service: &Curve) -> Value {
+    horizontal_deviation(arrival, service)
+}
+
+/// Output flow bound `α ⊘ β` (no maximum service curve).
+pub fn output_bound(arrival: &Curve, service: &Curve) -> Curve {
+    min_plus_deconv(arrival, service)
+}
+
+/// Output flow bound `α* = (α ⊗ γ) ⊘ β` with a maximum service curve
+/// `γ` tightening the result (§3 of the paper).
+pub fn output_bound_with_max(arrival: &Curve, max_service: &Curve, service: &Curve) -> Curve {
+    min_plus_deconv(&min_plus_conv(arrival, max_service), service)
+}
+
+/// Closed-form backlog bound for the leaky-bucket/rate-latency pair:
+/// `x ≤ b + R_α · T` (paper §3). Returns `+∞` if `R_α > R_β`.
+pub fn lb_rl_backlog(arrival_rate: Rat, burst: Rat, service_rate: Rat, latency: Rat) -> Value {
+    if arrival_rate > service_rate {
+        Value::Infinity
+    } else {
+        Value::finite(burst + arrival_rate * latency)
+    }
+}
+
+/// Closed-form delay bound for the leaky-bucket/rate-latency pair:
+/// `d ≤ T + b / R_β` (paper §3). Returns `+∞` if `R_α > R_β`.
+pub fn lb_rl_delay(arrival_rate: Rat, burst: Rat, service_rate: Rat, latency: Rat) -> Value {
+    if arrival_rate > service_rate || service_rate.is_zero() {
+        Value::Infinity
+    } else {
+        Value::finite(latency + burst / service_rate)
+    }
+}
+
+/// The paper's §3 overload hypothesis: "While the bounds are indeed
+/// infinite for backlog and virtual delay over the long run, we
+/// hypothesize that we can use values given by the model to understand
+/// estimates on required queue size." These heuristics evaluate the
+/// closed forms *without* the stability check, so they stay finite for
+/// `R_α > R_β` — estimates, not guarantees.
+pub mod heuristic {
+    use super::*;
+
+    /// Closed-form backlog estimate `b + R_α · T`, finite in every
+    /// regime.
+    pub fn backlog(arrival_rate: Rat, burst: Rat, latency: Rat) -> Rat {
+        burst + arrival_rate * latency
+    }
+
+    /// Closed-form delay estimate `T + b / R_β`, finite in every
+    /// regime (except a zero-rate server).
+    pub fn delay(burst: Rat, service_rate: Rat, latency: Rat) -> Value {
+        if service_rate.is_zero() {
+            Value::Infinity
+        } else {
+            Value::finite(latency + burst / service_rate)
+        }
+    }
+}
+
+/// Largest sustainable leaky-bucket arrival rate `R_α` such that the
+/// backlog bound `sup_t {R_α·t + b − β(t)}` stays within
+/// `budget` bytes — the paper's §6 future-work question ("utilizing
+/// network calculus to guide the sizing and allocation of buffers" /
+/// "when arrival rates need to be changed to accommodate queues that
+/// are at risk of overflowing"), answered exactly.
+///
+/// The bound is affine in `R_α` at each candidate abscissa, so the
+/// admissible region is an intersection of half-planes solved in
+/// rational arithmetic. Returns `None` when even `R_α = 0` overflows
+/// (i.e. `b > budget` net of any free service at `t = 0`).
+pub fn max_admissible_rate(service: &Curve, burst: Rat, budget: Rat) -> Option<Rat> {
+    assert!(!burst.is_negative() && !budget.is_negative());
+    // Constraint at t = 0 (and wherever β = 0): b ≤ budget.
+    if burst > budget {
+        return None;
+    }
+    // Rate can never exceed the service's ultimate rate (else the true
+    // bound is infinite).
+    let mut best = match service.ultimate_slope() {
+        Value::Finite(r) => r,
+        Value::Infinity => {
+            // Service eventually infinite (delay-style curve): only the
+            // finite prefix constrains; start from an upper bound given
+            // by the steepest constraint below, seeded generously.
+            Rat::int(i64::MAX)
+        }
+        Value::NegInfinity => unreachable!("service curves are not -inf"),
+    };
+    // Candidate abscissas: β's breakpoints plus a tail probe.
+    let t_star = service.last_breakpoint_x() + Rat::ONE;
+    let mut cands: Vec<Rat> = service.breakpoints().iter().map(|bp| bp.x).collect();
+    cands.push(t_star);
+    for t in cands {
+        if !t.is_positive() {
+            continue;
+        }
+        for beta_v in [service.eval(t), service.eval_right(t), service.eval_left(t)] {
+            match beta_v {
+                Value::Finite(bv) => {
+                    // R_α · t + b − bv ≤ budget  ⇒  R_α ≤ (budget − b + bv)/t.
+                    let cap = (budget - burst + bv) / t;
+                    best = best.min(cap);
+                }
+                _ => continue,
+            }
+        }
+    }
+    if best.is_negative() {
+        None
+    } else {
+        Some(best)
+    }
+}
+
+/// The three operating regimes the paper distinguishes when comparing
+/// the arrival rate `R_α` with the service rate `R_β`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub enum Regime {
+    /// `R_α < R_β`: standard operation, finite bounds.
+    Underloaded,
+    /// `R_α = R_β`: critical load; bounds finite but the queue never
+    /// drains faster than it fills.
+    Critical,
+    /// `R_α > R_β`: overload; backlog and delay bounds are infinite.
+    Overloaded,
+}
+
+/// Classify a pair of curves by their ultimate rates.
+pub fn classify_regime(arrival: &Curve, service: &Curve) -> Regime {
+    let ra = arrival.ultimate_slope();
+    let rb = service.ultimate_slope();
+    if ra < rb {
+        Regime::Underloaded
+    } else if ra == rb {
+        Regime::Critical
+    } else {
+        Regime::Overloaded
+    }
+}
+
+/// Complete single-node analysis: all §3 bounds in one bundle.
+#[derive(Clone, Debug)]
+pub struct NodeBounds {
+    /// Backlog bound `x`.
+    pub backlog: Value,
+    /// Virtual delay bound `d`.
+    pub delay: Value,
+    /// Output arrival bound `α*`.
+    pub output: Curve,
+    /// Operating regime.
+    pub regime: Regime,
+}
+
+/// Analyze one node: arrival `α`, service `β`, optional max service `γ`.
+pub fn analyze_node(arrival: &Curve, service: &Curve, max_service: Option<&Curve>) -> NodeBounds {
+    let output = match max_service {
+        Some(gamma) => output_bound_with_max(arrival, gamma, service),
+        None => output_bound(arrival, service),
+    };
+    NodeBounds {
+        backlog: backlog_bound(arrival, service),
+        delay: delay_bound(arrival, service),
+        output,
+        regime: classify_regime(arrival, service),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::shapes;
+    use crate::num::rat;
+
+    #[test]
+    fn closed_forms_match_general_algorithms() {
+        let (ra, b, rb, t) = (Rat::int(2), Rat::int(5), Rat::int(3), Rat::int(4));
+        let alpha = shapes::leaky_bucket(ra, b);
+        let beta = shapes::rate_latency(rb, t);
+        assert_eq!(backlog_bound(&alpha, &beta), lb_rl_backlog(ra, b, rb, t));
+        assert_eq!(delay_bound(&alpha, &beta), lb_rl_delay(ra, b, rb, t));
+    }
+
+    #[test]
+    fn output_bound_with_max_tightens() {
+        let alpha = shapes::leaky_bucket(Rat::int(2), Rat::int(5));
+        let beta = shapes::rate_latency(Rat::int(3), Rat::int(4));
+        // γ caps the instantaneous output rate at 4.
+        let gamma = shapes::constant_rate(Rat::int(4));
+        let with = output_bound_with_max(&alpha, &gamma, &beta);
+        let without = output_bound(&alpha, &beta);
+        for n in 0..30 {
+            let t = rat(n, 2);
+            assert!(with.eval(t) <= without.eval(t), "γ must only tighten");
+        }
+        // Near zero the burst is paced by γ instead of appearing whole.
+        assert!(with.eval_right(Rat::ZERO) <= without.eval_right(Rat::ZERO));
+    }
+
+    #[test]
+    fn regimes() {
+        let beta = shapes::rate_latency(Rat::int(3), Rat::ONE);
+        let under = shapes::leaky_bucket(Rat::int(2), Rat::ONE);
+        let crit = shapes::leaky_bucket(Rat::int(3), Rat::ONE);
+        let over = shapes::leaky_bucket(Rat::int(4), Rat::ONE);
+        assert_eq!(classify_regime(&under, &beta), Regime::Underloaded);
+        assert_eq!(classify_regime(&crit, &beta), Regime::Critical);
+        assert_eq!(classify_regime(&over, &beta), Regime::Overloaded);
+        let nb = analyze_node(&over, &beta, None);
+        assert_eq!(nb.backlog, Value::Infinity);
+        assert_eq!(nb.delay, Value::Infinity);
+    }
+
+    #[test]
+    fn admissible_rate_closed_form() {
+        // β = RL(3, 4), burst 5, budget B: x = b + r·T ≤ B ⇒ r ≤ (B−5)/4,
+        // clamped at R = 3.
+        let beta = shapes::rate_latency(Rat::int(3), Rat::int(4));
+        // Budget 13 = the bound at r = 2.
+        assert_eq!(
+            max_admissible_rate(&beta, Rat::int(5), Rat::int(13)),
+            Some(Rat::int(2))
+        );
+        // Huge budget: capped by the service rate.
+        assert_eq!(
+            max_admissible_rate(&beta, Rat::int(5), Rat::int(1_000_000)),
+            Some(Rat::int(3))
+        );
+        // Budget below the burst: nothing is admissible.
+        assert_eq!(max_admissible_rate(&beta, Rat::int(5), Rat::int(4)), None);
+    }
+
+    #[test]
+    fn admissible_rate_is_exact_boundary() {
+        use crate::ops::vertical_deviation;
+        let beta = shapes::rate_latency(Rat::int(7), Rat::int(2))
+            .min(&shapes::leaky_bucket(Rat::int(3), Rat::int(9)));
+        let burst = Rat::int(2);
+        let budget = Rat::int(10);
+        let r = max_admissible_rate(&beta, burst, budget).expect("admissible");
+        // At the returned rate the bound is within budget…
+        let at = vertical_deviation(&shapes::leaky_bucket(r, burst), &beta);
+        assert!(at <= Value::finite(budget), "bound {at:?} over budget");
+        // …and any faster rate overflows.
+        let over = vertical_deviation(
+            &shapes::leaky_bucket(r + crate::num::rat(1, 100), burst),
+            &beta,
+        );
+        assert!(over > Value::finite(budget), "boundary not tight: {over:?}");
+    }
+
+    #[test]
+    fn analyze_node_bundle_consistency() {
+        let alpha = shapes::leaky_bucket(Rat::int(2), Rat::int(5));
+        let beta = shapes::rate_latency(Rat::int(3), Rat::int(4));
+        let nb = analyze_node(&alpha, &beta, None);
+        assert_eq!(nb.backlog, Value::from(13));
+        assert_eq!(nb.delay, Value::finite(Rat::int(4) + rat(5, 3)));
+        assert_eq!(nb.output, output_bound(&alpha, &beta));
+        assert_eq!(nb.regime, Regime::Underloaded);
+    }
+}

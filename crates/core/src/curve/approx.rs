@@ -1,0 +1,125 @@
+//! Grid-sampled floating-point bound estimators — the ablation partner
+//! of the exact rational operators (DESIGN.md §6).
+//!
+//! Practitioner tools often evaluate network-calculus bounds by
+//! sampling curves on a time grid in `f64`. That is cheaper but
+//! *underestimates* suprema (the grid can miss the binding instant,
+//! e.g. the burst right after a jump) and inherits float rounding.
+//! These estimators exist to quantify that gap: the tests pin the
+//! invariant `sampled ≤ exact`, and the `curve_ops` bench measures the
+//! speed difference that the exactness costs.
+
+use crate::curve::pwl::Curve;
+use crate::num::{Rat, Value};
+
+/// Grid-sampled backlog estimate `max_t {α(t) − β(t)}` over
+/// `[0, horizon]` with `n` samples. Always `≤` the exact
+/// [`vertical_deviation`](crate::ops::vertical_deviation) restricted to
+/// that window.
+pub fn sampled_backlog(alpha: &Curve, beta: &Curve, horizon: Rat, n: usize) -> f64 {
+    assert!(n >= 2 && horizon.is_positive());
+    let h = horizon.to_f64();
+    let mut best = 0.0f64;
+    for k in 0..n {
+        let t = Rat::from_f64(h * k as f64 / (n - 1) as f64);
+        let (a, b) = (alpha.eval(t), beta.eval(t));
+        if let (Value::Finite(a), Value::Finite(b)) = (a, b) {
+            best = best.max(a.to_f64() - b.to_f64());
+        }
+    }
+    best.max(0.0)
+}
+
+/// Grid-sampled delay estimate: for each sample `t`, the first grid
+/// point `t' ≥ t` with `β(t') ≥ α(t)`; the maximum of `t' − t`.
+/// Always `≤` the exact horizontal deviation plus one grid step.
+pub fn sampled_delay(alpha: &Curve, beta: &Curve, horizon: Rat, n: usize) -> f64 {
+    assert!(n >= 2 && horizon.is_positive());
+    let h = horizon.to_f64();
+    let step = h / (n - 1) as f64;
+    // Precompute β on the grid.
+    let beta_grid: Vec<f64> = (0..n)
+        .map(|k| beta.eval(Rat::from_f64(step * k as f64)).to_f64())
+        .collect();
+    let mut worst = 0.0f64;
+    let mut j = 0usize;
+    for k in 0..n {
+        let a = alpha.eval(Rat::from_f64(step * k as f64)).to_f64();
+        if j < k {
+            j = k;
+        }
+        while j < n && beta_grid[j] < a {
+            j += 1;
+        }
+        if j >= n {
+            // β never catches α within the horizon: report the window
+            // remainder (a lower estimate of the true delay).
+            worst = worst.max(h - step * k as f64);
+            break;
+        }
+        worst = worst.max(step * (j - k) as f64);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::shapes;
+    use crate::ops::{horizontal_deviation, vertical_deviation};
+
+    fn lb(r: i64, b: i64) -> Curve {
+        shapes::leaky_bucket(Rat::int(r), Rat::int(b))
+    }
+    fn rl(r: i64, t: i64) -> Curve {
+        shapes::rate_latency(Rat::int(r), Rat::int(t))
+    }
+
+    #[test]
+    fn sampled_never_exceeds_exact() {
+        let cases = [
+            (lb(2, 5), rl(3, 4)),
+            (lb(3, 2), rl(3, 4)),
+            (
+                lb(6, 1).min(&lb(2, 9)),
+                rl(3, 2),
+            ),
+        ];
+        for (alpha, beta) in &cases {
+            let exact_x = vertical_deviation(alpha, beta).to_f64();
+            let exact_d = horizontal_deviation(alpha, beta).to_f64();
+            for n in [16usize, 64, 512] {
+                let sx = sampled_backlog(alpha, beta, Rat::int(50), n);
+                let sd = sampled_delay(alpha, beta, Rat::int(50), n);
+                assert!(sx <= exact_x + 1e-9, "n={n}: {sx} > {exact_x}");
+                // Sampled delay can overshoot by one grid step only.
+                let step = 50.0 / (n - 1) as f64;
+                assert!(sd <= exact_d + step + 1e-9, "n={n}: {sd} > {exact_d}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_grid_converges_to_exact() {
+        let alpha = lb(2, 5);
+        let beta = rl(3, 4);
+        let exact_x = vertical_deviation(&alpha, &beta).to_f64(); // 13
+        let exact_d = horizontal_deviation(&alpha, &beta).to_f64(); // 4 + 5/3
+        let sx = sampled_backlog(&alpha, &beta, Rat::int(50), 20_001);
+        let sd = sampled_delay(&alpha, &beta, Rat::int(50), 20_001);
+        assert!((sx - exact_x).abs() < 0.02, "{sx} vs {exact_x}");
+        assert!((sd - exact_d).abs() < 0.02, "{sd} vs {exact_d}");
+    }
+
+    #[test]
+    fn coarse_grid_misses_the_burst() {
+        // The binding instant is t → 0⁺ (the burst); a coarse grid that
+        // skips it underestimates the backlog — the failure mode the
+        // exact operators exist to avoid.
+        let alpha = lb(1, 100);
+        let beta = shapes::constant_rate(Rat::int(50));
+        let exact = vertical_deviation(&alpha, &beta).to_f64(); // 100 at 0⁺
+        let coarse = sampled_backlog(&alpha, &beta, Rat::int(50), 11);
+        assert!(coarse < exact, "coarse {coarse} vs exact {exact}");
+    }
+}

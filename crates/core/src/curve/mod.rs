@@ -1,0 +1,7 @@
+//! Piecewise-linear curves and standard network-calculus shapes.
+
+pub mod approx;
+pub mod pwl;
+pub mod shapes;
+
+pub use pwl::{Breakpoint, Curve, CurveError};

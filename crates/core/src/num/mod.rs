@@ -1,0 +1,7 @@
+//! Exact numeric foundation: rationals and extended values.
+
+mod rat;
+mod value;
+
+pub use rat::{rat, Rat};
+pub use value::Value;

@@ -1,0 +1,248 @@
+//! Extended rationals: finite values plus `+∞`.
+//!
+//! Network calculus routinely produces infinite bounds — a pure-delay
+//! element `δ_T` is `+∞` after `T`, and backlog/delay bounds are `+∞`
+//! whenever the arrival rate exceeds the service rate (§3 of the paper).
+//! Modeling that explicitly keeps the algebra total instead of hiding
+//! overload behind sentinel numbers.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, Mul, Neg, Sub};
+
+use super::rat::Rat;
+
+/// A rational extended with `+∞` (and `-∞`, which only arises
+/// transiently inside deconvolution suprema).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Negative infinity. Never stored in a curve; used as the identity
+    /// for suprema.
+    NegInfinity,
+    /// A finite rational.
+    Finite(Rat),
+    /// Positive infinity.
+    Infinity,
+}
+
+impl Value {
+    /// Finite zero.
+    pub const ZERO: Value = Value::Finite(Rat::ZERO);
+
+    /// Wrap a finite rational.
+    pub fn finite(r: Rat) -> Value {
+        Value::Finite(r)
+    }
+
+    /// `true` iff finite.
+    pub fn is_finite(self) -> bool {
+        matches!(self, Value::Finite(_))
+    }
+
+    /// `true` iff `+∞`.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Value::Infinity)
+    }
+
+    /// Extract the finite value.
+    ///
+    /// # Panics
+    /// Panics if infinite.
+    pub fn unwrap_finite(self) -> Rat {
+        match self {
+            Value::Finite(r) => r,
+            Value::Infinity => panic!("Value::unwrap_finite on +inf"),
+            Value::NegInfinity => panic!("Value::unwrap_finite on -inf"),
+        }
+    }
+
+    /// Extract the finite value, or `None`.
+    pub fn as_finite(self) -> Option<Rat> {
+        match self {
+            Value::Finite(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Convert to `f64` (`+∞` ↦ `f64::INFINITY`).
+    pub fn to_f64(self) -> f64 {
+        match self {
+            Value::Finite(r) => r.to_f64(),
+            Value::Infinity => f64::INFINITY,
+            Value::NegInfinity => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Minimum.
+    pub fn min(self, other: Value) -> Value {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum.
+    pub fn max(self, other: Value) -> Value {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Positive part `[v]⁺ = max(v, 0)` — the standard network-calculus
+    /// clamp used e.g. for packetized service curves `[β - l_max]⁺`.
+    pub fn pos(self) -> Value {
+        self.max(Value::ZERO)
+    }
+
+    /// Saturating multiplication by a finite rational scale `k ≥ 0`.
+    pub fn scale(self, k: Rat) -> Value {
+        debug_assert!(!k.is_negative());
+        match self {
+            Value::Finite(r) => Value::Finite(r * k),
+            inf => {
+                if k.is_zero() {
+                    Value::ZERO
+                } else {
+                    inf
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (NegInfinity, NegInfinity) | (Infinity, Infinity) => Ordering::Equal,
+            (NegInfinity, _) | (_, Infinity) => Ordering::Less,
+            (_, NegInfinity) | (Infinity, _) => Ordering::Greater,
+            (Finite(a), Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl Add for Value {
+    type Output = Value;
+    /// # Panics
+    /// Panics on `∞ + (-∞)` (indeterminate).
+    fn add(self, rhs: Value) -> Value {
+        use Value::*;
+        match (self, rhs) {
+            (Finite(a), Finite(b)) => Finite(a + b),
+            (Infinity, NegInfinity) | (NegInfinity, Infinity) => {
+                panic!("Value: inf + -inf is indeterminate")
+            }
+            (Infinity, _) | (_, Infinity) => Infinity,
+            (NegInfinity, _) | (_, NegInfinity) => NegInfinity,
+        }
+    }
+}
+
+impl Sub for Value {
+    type Output = Value;
+    /// # Panics
+    /// Panics on `∞ - ∞` (indeterminate).
+    fn sub(self, rhs: Value) -> Value {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Value {
+    type Output = Value;
+    fn neg(self) -> Value {
+        match self {
+            Value::Finite(r) => Value::Finite(-r),
+            Value::Infinity => Value::NegInfinity,
+            Value::NegInfinity => Value::Infinity,
+        }
+    }
+}
+
+impl Mul<Rat> for Value {
+    type Output = Value;
+    /// Multiply by a *non-negative* finite scale.
+    fn mul(self, rhs: Rat) -> Value {
+        self.scale(rhs)
+    }
+}
+
+impl From<Rat> for Value {
+    fn from(r: Rat) -> Value {
+        Value::Finite(r)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Finite(Rat::int(n))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Finite(r) => write!(f, "{r:?}"),
+            Value::Infinity => write!(f, "+inf"),
+            Value::NegInfinity => write!(f, "-inf"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::rat::rat;
+
+    #[test]
+    fn ordering_with_infinities() {
+        assert!(Value::NegInfinity < Value::from(0));
+        assert!(Value::from(i64::MAX) < Value::Infinity);
+        assert!(Value::from(1) < Value::from(2));
+        assert_eq!(Value::Infinity.max(Value::from(3)), Value::Infinity);
+        assert_eq!(Value::Infinity.min(Value::from(3)), Value::from(3));
+    }
+
+    #[test]
+    fn arithmetic_with_infinities() {
+        assert_eq!(Value::Infinity + Value::from(5), Value::Infinity);
+        assert_eq!(Value::from(5) - Value::Infinity, Value::NegInfinity);
+        assert_eq!(Value::Infinity.scale(rat(1, 2)), Value::Infinity);
+        assert_eq!(Value::Infinity.scale(Rat::ZERO), Value::ZERO);
+        assert_eq!(Value::from(6).scale(rat(1, 2)), Value::from(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "indeterminate")]
+    fn inf_minus_inf_panics() {
+        let _ = Value::Infinity - Value::Infinity;
+    }
+
+    #[test]
+    fn pos_clamps_negatives() {
+        assert_eq!(Value::from(-3).pos(), Value::ZERO);
+        assert_eq!(Value::from(3).pos(), Value::from(3));
+        assert_eq!(Value::NegInfinity.pos(), Value::ZERO);
+    }
+}

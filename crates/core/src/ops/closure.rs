@@ -1,0 +1,105 @@
+//! Sub-additive closure.
+//!
+//! The sub-additive closure `f* = min(δ_0, f, f⊗f, f⊗f⊗f, …)` is the
+//! tightest sub-additive curve below `f` and plays two roles: it turns
+//! an arbitrary measured envelope into a valid arrival curve, and it
+//! characterizes the service of feedback/window flow-control systems.
+//!
+//! For the ultimately-affine curves used in this crate the iteration
+//! reaches a fixpoint quickly (a leaky bucket is already sub-additive;
+//! a rate-latency curve closes after a handful of iterations into a
+//! staircase-like shape that we truncate at `max_iter`).
+
+use crate::curve::pwl::Curve;
+use crate::curve::shapes;
+use crate::num::Rat;
+
+use super::conv::min_plus_conv;
+
+/// Result of a (possibly truncated) closure computation.
+#[derive(Clone, Debug)]
+pub struct Closure {
+    /// The computed curve: exact if `converged`, otherwise an upper
+    /// bound on the true closure (safe for arrival curves).
+    pub curve: Curve,
+    /// Whether a fixpoint was reached within the iteration budget.
+    pub converged: bool,
+    /// Number of convolution iterations performed.
+    pub iterations: usize,
+}
+
+/// Compute the sub-additive closure of `f` by iterated convolution,
+/// stopping at a fixpoint or after `max_iter` rounds.
+pub fn subadditive_closure(f: &Curve, max_iter: usize) -> Closure {
+    // Start from min(δ_0, f): the closure always passes through 0 at 0.
+    let mut acc = shapes::delta(Rat::ZERO).min(f);
+    for i in 0..max_iter {
+        let next = acc.min(&min_plus_conv(&acc, &acc));
+        if next == acc {
+            return Closure {
+                curve: acc,
+                converged: true,
+                iterations: i,
+            };
+        }
+        acc = next;
+    }
+    Closure {
+        curve: acc,
+        converged: false,
+        iterations: max_iter,
+    }
+}
+
+/// `true` iff `f` is sub-additive (`f(s+t) ≤ f(s) + f(t)`), verified
+/// exactly via `f ⊗ f ≥ f` for curves with `f(0) = 0`.
+pub fn is_subadditive(f: &Curve) -> bool {
+    let ff = min_plus_conv(f, f);
+    ff.min(f) == *f && f.starts_at_zero()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::shapes;
+    use crate::num::{Rat, Value};
+
+    #[test]
+    fn leaky_bucket_already_closed() {
+        let a = shapes::leaky_bucket(Rat::int(2), Rat::int(5));
+        assert!(is_subadditive(&a));
+        let c = subadditive_closure(&a, 8);
+        assert!(c.converged);
+        // Closure of a sub-additive curve is itself (beyond t = 0).
+        assert_eq!(c.curve.eval(Rat::int(3)), a.eval(Rat::int(3)));
+    }
+
+    #[test]
+    fn rate_latency_not_subadditive() {
+        let b = shapes::rate_latency(Rat::int(3), Rat::int(2));
+        assert!(!is_subadditive(&b));
+        let c = subadditive_closure(&b, 16);
+        // Closure stays below the original and below any doubling.
+        for n in 0..20 {
+            let t = Rat::int(n);
+            assert!(c.curve.eval(t) <= b.eval(t));
+        }
+        // β(8) = 18 but β*(8) ≤ β(4) + β(4) = 12.
+        assert!(c.curve.eval(Rat::int(8)) <= Value::from(12));
+    }
+
+    #[test]
+    fn closure_is_idempotent_when_converged() {
+        let b = shapes::rate_latency(Rat::int(1), Rat::ONE).min(&shapes::leaky_bucket(
+            Rat::ONE,
+            Rat::int(2),
+        ));
+        let c = subadditive_closure(&b, 32);
+        if c.converged {
+            assert!(is_subadditive(&c.curve));
+            let again = subadditive_closure(&c.curve, 4);
+            assert!(again.converged);
+            assert_eq!(again.curve, c.curve);
+        }
+    }
+}

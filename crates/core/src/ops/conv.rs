@@ -1,0 +1,407 @@
+//! Min-plus convolution `⊗`.
+//!
+//! `(f ⊗ g)(t) = inf_{0 ≤ s ≤ t} { f(s) + g(t − s) }` is the composition
+//! operator of network calculus: the service curve of two systems in
+//! tandem is the convolution of their service curves (§4.2 of the
+//! paper, "these nodes can be concatenated together to find the overall
+//! service curve of the full system").
+//!
+//! # Algorithm
+//!
+//! Closed forms cover the common cases: a pure delay `δ_T` shifts the
+//! other operand, and for concave operands vanishing at `0`,
+//! `f ⊗ g = min(f, g)`.
+//!
+//! In general, candidate breakpoints of the result lie in the Minkowski
+//! sum `{x_i + y_j}` of the operands' breakpoints, *but the result is
+//! not affine between candidates*: on each open interval the
+//! convolution equals the pointwise minimum of finitely many affine
+//! "strategies" (the infimum pinned at a breakpoint of `f`, or at
+//! `t − y_j` for a breakpoint of `g`), whose crossings create further
+//! kinks. We therefore take the exact [lower envelope](super::envelope)
+//! of the strategy lines on every interval. All arithmetic is rational,
+//! so the result is exact.
+
+use crate::curve::pwl::{Breakpoint, Curve};
+use crate::num::{Rat, Value};
+
+use super::envelope::{lower_envelope, Line};
+
+/// Exact min-plus convolution of two wide-sense increasing curves.
+///
+/// # Panics
+/// Panics (in debug builds) if either operand is not wide-sense
+/// increasing.
+pub fn min_plus_conv(f: &Curve, g: &Curve) -> Curve {
+    debug_assert!(f.is_wide_sense_increasing(), "conv operand must increase");
+    debug_assert!(g.is_wide_sense_increasing(), "conv operand must increase");
+
+    // Fast path: pure delay δ_T shifts the other operand.
+    if let Some(t) = as_pure_delay(f) {
+        return g.shift_right(t);
+    }
+    if let Some(t) = as_pure_delay(g) {
+        return f.shift_right(t);
+    }
+    // Fast path: for concave curves with f(0) = g(0) = 0,
+    // f ⊗ g = min(f, g)  (Le Boudec & Thiran, Thm 3.1.6).
+    if f.starts_at_zero() && g.starts_at_zero() && is_concave(f) && is_concave(g) {
+        return f.min(g);
+    }
+
+    // General case: Minkowski-sum candidate abscissas.
+    let mut ts: Vec<Rat> = Vec::with_capacity(f.len() * g.len());
+    for bf in f.breakpoints() {
+        for bg in g.breakpoints() {
+            ts.push(bf.x + bg.x);
+        }
+    }
+    ts.sort_unstable();
+    ts.dedup();
+
+    let mut bps: Vec<Breakpoint> = Vec::with_capacity(ts.len());
+    for (k, &a) in ts.iter().enumerate() {
+        let v = conv_at(f, g, a);
+        let b = ts.get(k + 1).copied();
+        let lines = strategy_lines_conv(f, g, a, b);
+        match lines {
+            None => {
+                // No finite strategy: the convolution is +inf on (a, b).
+                bps.push(Breakpoint {
+                    x: a,
+                    v,
+                    v_right: Value::Infinity,
+                    slope: Rat::ZERO,
+                });
+            }
+            Some(lines) => {
+                let env = lower_envelope(&lines, b.map(|b| b - a));
+                bps.push(Breakpoint {
+                    x: a,
+                    v,
+                    v_right: Value::finite(env[0].value),
+                    slope: env[0].slope,
+                });
+                for piece in &env[1..] {
+                    bps.push(Breakpoint::cont(
+                        a + piece.start,
+                        Value::finite(piece.value),
+                        piece.slope,
+                    ));
+                }
+            }
+        }
+    }
+    Curve::from_breakpoints_unchecked(bps)
+}
+
+/// Exact value of `(f ⊗ g)(t)`.
+///
+/// The infimum of the piecewise-affine map `s ↦ f(s) + g(t−s)` over
+/// `[0, t]` is reached at a breakpoint of the map or as a one-sided
+/// limit at one; all such candidates lie on the grid
+/// `{x_i} ∪ {t − y_j}`.
+pub fn conv_at(f: &Curve, g: &Curve, t: Rat) -> Value {
+    debug_assert!(!t.is_negative());
+    let mut grid: Vec<Rat> = Vec::new();
+    grid.push(Rat::ZERO);
+    grid.push(t);
+    for bf in f.breakpoints() {
+        if bf.x <= t {
+            grid.push(bf.x);
+        }
+    }
+    for bg in g.breakpoints() {
+        let s = t - bg.x;
+        if !s.is_negative() {
+            grid.push(s);
+        }
+    }
+    grid.sort_unstable();
+    grid.dedup();
+
+    let mut best = Value::Infinity;
+    for &s in &grid {
+        let u = t - s;
+        // Value at the grid point itself.
+        best = best.min(f.eval(s) + g.eval(u));
+        // Limit approaching from the right (s ↓): f(s⁺) + g((t−s)⁻).
+        if s < t {
+            best = best.min(f.eval_right(s) + g.eval_left(u));
+        }
+        // Limit approaching from the left (s ↑): f(s⁻) + g((t−s)⁺).
+        if s.is_positive() {
+            best = best.min(f.eval_left(s) + g.eval_right(u));
+        }
+    }
+    best
+}
+
+/// Build the affine strategies governing `(f ⊗ g)` on the open interval
+/// `(a, b)` (where `(a, b)` contains no Minkowski-sum candidate).
+///
+/// Returns `None` when every strategy is infinite (the convolution is
+/// `+∞` on the interval).
+fn strategy_lines_conv(f: &Curve, g: &Curve, a: Rat, b: Option<Rat>) -> Option<Vec<Line>> {
+    // Two interior sample abscissas used to express each strategy as a
+    // line in local coordinates u = t − a.
+    let (m1, m2) = match b {
+        Some(b) => {
+            let d = (b - a) / Rat::int(3);
+            (a + d, a + d + d)
+        }
+        None => (a + Rat::ONE, a + Rat::int(2)),
+    };
+    let mut lines = Vec::new();
+
+    // Strategies pinned at a breakpoint of f: s ≈ x_i, value
+    // K + g(t − x_i) with K the cheapest one-sided value of f at x_i.
+    for bf in f.breakpoints() {
+        if bf.x > a {
+            continue;
+        }
+        let mut k = bf.v;
+        if bf.x.is_positive() {
+            k = k.min(f.eval_left(bf.x));
+        }
+        k = k.min(bf.v_right);
+        push_line(&mut lines, m1, m2, a, |m| k + g.eval(m - bf.x));
+    }
+    // Strategies pinned at a breakpoint of g: s = t − y_j, value
+    // f(t − y_j) + L with L the cheapest one-sided value of g at y_j.
+    for bg in g.breakpoints() {
+        if bg.x > a {
+            continue;
+        }
+        let mut l = bg.v;
+        if bg.x.is_positive() {
+            l = l.min(g.eval_left(bg.x));
+        }
+        l = l.min(bg.v_right);
+        push_line(&mut lines, m1, m2, a, |m| f.eval(m - bg.x) + l);
+    }
+    if lines.is_empty() {
+        None
+    } else {
+        Some(lines)
+    }
+}
+
+/// Evaluate `strategy` at the two interior samples; if finite at both,
+/// append the interpolating line (in local coordinates relative to `a`).
+pub(super) fn push_line(
+    lines: &mut Vec<Line>,
+    m1: Rat,
+    m2: Rat,
+    a: Rat,
+    strategy: impl Fn(Rat) -> Value,
+) {
+    let (w1, w2) = (strategy(m1), strategy(m2));
+    if let (Value::Finite(w1), Value::Finite(w2)) = (w1, w2) {
+        let slope = (w2 - w1) / (m2 - m1);
+        let v0 = w1 - slope * (m1 - a);
+        lines.push(Line { v0, slope });
+    }
+}
+
+/// Detects curves that are exactly a pure delay `δ_T`.
+pub(crate) fn as_pure_delay(c: &Curve) -> Option<Rat> {
+    let bps = c.breakpoints();
+    match bps {
+        [only] => {
+            if only.v == Value::ZERO && only.v_right == Value::Infinity {
+                Some(Rat::ZERO)
+            } else {
+                None
+            }
+        }
+        [first, last] => {
+            let zero_plateau = first.v == Value::ZERO
+                && first.v_right == Value::ZERO
+                && first.slope.is_zero();
+            if zero_plateau && last.v == Value::ZERO && last.v_right == Value::Infinity {
+                Some(last.x)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// `true` iff the curve is concave on `(0, ∞)` (an initial burst at
+/// `t = 0` is allowed — the leaky bucket counts as concave).
+pub(crate) fn is_concave(c: &Curve) -> bool {
+    if !c.is_finite_everywhere() {
+        return false;
+    }
+    let bps = c.breakpoints();
+    let mut prev_slope: Option<Rat> = None;
+    for (i, bp) in bps.iter().enumerate() {
+        // Jumps beyond t = 0 break concavity.
+        if i > 0 && (bp.v != bp.v_right || c.eval_left(bp.x) != bp.v) {
+            return false;
+        }
+        if let Some(p) = prev_slope {
+            if bp.slope > p {
+                return false;
+            }
+        }
+        prev_slope = Some(bp.slope);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::shapes;
+    use crate::num::rat;
+
+    fn lb(r: i64, b: i64) -> Curve {
+        shapes::leaky_bucket(Rat::int(r), Rat::int(b))
+    }
+    fn rl(r: i64, t: i64) -> Curve {
+        shapes::rate_latency(Rat::int(r), Rat::int(t))
+    }
+
+    /// Brute-force numeric check helper: exact value must not exceed
+    /// any sampled inner value, and must be attained up to grid effects.
+    fn check_against_sampling(f: &Curve, g: &Curve, c: &Curve, t_max: i128, denom: i128) {
+        for num in 0..(t_max * denom) {
+            let t = rat(num, denom);
+            let exact = conv_at(f, g, t);
+            assert_eq!(c.eval(t), exact, "curve disagrees with conv_at at {t:?}");
+            let mut brute = Value::Infinity;
+            for k in 0..=96 {
+                let s = t * rat(k, 96);
+                brute = brute.min(f.eval(s) + g.eval(t - s));
+            }
+            assert!(exact <= brute, "inf exceeded sample at t={t:?}");
+        }
+    }
+
+    #[test]
+    fn delta_is_identity() {
+        let f = lb(2, 5);
+        let c = min_plus_conv(&f, &shapes::delta(Rat::ZERO));
+        assert_eq!(c, f);
+        let c = min_plus_conv(&shapes::delta(Rat::ZERO), &f);
+        assert_eq!(c, f);
+    }
+
+    #[test]
+    fn delta_shifts() {
+        let f = rl(3, 1);
+        let c = min_plus_conv(&f, &shapes::delta(Rat::int(2)));
+        assert_eq!(c, rl(3, 3));
+    }
+
+    #[test]
+    fn rate_latency_composition() {
+        // RL(R1,T1) ⊗ RL(R2,T2) = RL(min(R1,R2), T1+T2).
+        let c = min_plus_conv(&rl(3, 2), &rl(5, 1));
+        assert_eq!(c, rl(3, 3));
+        let c = min_plus_conv(&rl(5, 1), &rl(3, 2));
+        assert_eq!(c, rl(3, 3));
+    }
+
+    #[test]
+    fn concave_conv_is_min() {
+        let a = lb(2, 5);
+        let b = lb(1, 9);
+        let c = min_plus_conv(&a, &b);
+        assert_eq!(c, a.min(&b));
+    }
+
+    #[test]
+    fn lb_conv_rl_exact_shape() {
+        // α ⊗ β for α = LB(2, 5), β = RL(3, 4):
+        // zero until 4, then min(3(t−4), 5 + 2(t−4)) with a kink at t=9
+        // where the strategies cross — a breakpoint *outside* the
+        // Minkowski sum of the operand breakpoints.
+        let a = lb(2, 5);
+        let b = rl(3, 4);
+        let c = min_plus_conv(&a, &b);
+        assert_eq!(c.eval(Rat::int(2)), Value::ZERO);
+        assert_eq!(c.eval(Rat::int(4)), Value::ZERO);
+        assert_eq!(c.eval_right(Rat::int(4)), Value::ZERO);
+        assert_eq!(c.eval(Rat::int(6)), Value::from(6));
+        assert_eq!(c.eval(Rat::int(9)), Value::from(15));
+        assert_eq!(c.eval(Rat::int(14)), Value::from(25));
+        assert!(c.breakpoints().iter().any(|bp| bp.x == Rat::int(9)));
+        assert!(c.is_wide_sense_increasing());
+        check_against_sampling(&a, &b, &c, 12, 4);
+    }
+
+    #[test]
+    fn conv_commutative_on_mixed_curves() {
+        let a = lb(2, 5).min(&shapes::constant_rate(Rat::int(7)));
+        let b = rl(3, 4).add(&rl(1, 1));
+        let ab = min_plus_conv(&a, &b);
+        let ba = min_plus_conv(&b, &a);
+        assert_eq!(ab, ba);
+        check_against_sampling(&a, &b, &ab, 10, 3);
+    }
+
+    #[test]
+    fn conv_associative() {
+        let a = lb(2, 5);
+        let b = rl(3, 4);
+        let c = rl(6, 1);
+        let l = min_plus_conv(&min_plus_conv(&a, &b), &c);
+        let r = min_plus_conv(&a, &min_plus_conv(&b, &c));
+        assert_eq!(l, r);
+    }
+
+    #[test]
+    fn staircase_conv_rate_latency() {
+        let s = shapes::truncated_staircase(Rat::int(4), Rat::int(2), 4);
+        let b = rl(2, 1);
+        let c = min_plus_conv(&s, &b);
+        assert!(c.is_wide_sense_increasing());
+        check_against_sampling(&s, &b, &c, 12, 2);
+    }
+
+    #[test]
+    fn conv_with_positive_at_zero() {
+        // f(0) > 0 shifts the whole result up.
+        let f = lb(1, 2).shift_up(Rat::int(3));
+        let g = rl(2, 1);
+        let c = min_plus_conv(&f, &g);
+        assert_eq!(c.eval(Rat::ZERO), Value::from(3));
+        check_against_sampling(&f, &g, &c, 8, 2);
+    }
+
+    #[test]
+    fn conv_delayed_operands() {
+        // Two delta-containing curves: δ_1 min LB vs δ_2 min RL shapes.
+        let f = shapes::delta(Rat::int(1)).min(&lb(3, 7));
+        let g = shapes::delta(Rat::int(2)).min(&rl(5, 1));
+        let c = min_plus_conv(&f, &g);
+        assert!(c.is_wide_sense_increasing());
+        check_against_sampling(&f, &g, &c, 10, 2);
+    }
+
+    #[test]
+    fn detects_pure_delay() {
+        assert_eq!(as_pure_delay(&shapes::delta(Rat::int(3))), Some(Rat::int(3)));
+        assert_eq!(as_pure_delay(&shapes::delta(Rat::ZERO)), Some(Rat::ZERO));
+        assert_eq!(as_pure_delay(&lb(1, 1)), None);
+        assert_eq!(as_pure_delay(&rl(1, 1)), None);
+    }
+
+    #[test]
+    fn concavity_detection() {
+        assert!(is_concave(&lb(2, 5)));
+        assert!(is_concave(&lb(2, 5).min(&shapes::constant_rate(Rat::int(7)))));
+        assert!(!is_concave(&rl(3, 1))); // convex, not concave
+        assert!(is_concave(&shapes::constant_rate(Rat::int(3)))); // affine: both
+        assert!(!is_concave(&shapes::delta(Rat::int(1))));
+        assert!(!is_concave(&shapes::truncated_staircase(
+            Rat::ONE,
+            Rat::ONE,
+            2
+        )));
+    }
+}

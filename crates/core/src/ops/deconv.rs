@@ -1,0 +1,377 @@
+//! Min-plus deconvolution `⊘`.
+//!
+//! `(f ⊘ g)(t) = sup_{u ≥ 0} { f(t + u) − g(u) }` computes output
+//! arrival bounds: the flow leaving a server with service curve `β` and
+//! input constrained by `α` is constrained by `α ⊘ β` (§3 of the paper;
+//! we implement the paper's output-flow bound `α* = (α ⊗ γ) ⊘ β`, see
+//! [`crate::bounds`]).
+//!
+//! # Conventions
+//!
+//! * Candidates `u` where `g(u) = +∞` contribute nothing to the
+//!   supremum (an infinite service imposes no constraint).
+//! * If both operands' ultimate growth rates are finite and
+//!   `rate(f) > rate(g)`, the supremum is `+∞` for every `t` — this is
+//!   the paper's overload case `R_α > R_β` where bounds diverge.
+//!
+//! # Algorithm
+//!
+//! Mirrors [convolution](super::conv): result breakpoints lie among the
+//! pairwise differences `{x_i − y_j} ∩ [0, ∞)`, and between candidates
+//! the deconvolution is the *upper envelope* of finitely many affine
+//! strategies (supremum pinned at a breakpoint of `g`, at `u = x_i − t`
+//! for a breakpoint of `f`, or at the tail `u → ∞`).
+
+use crate::curve::pwl::{Breakpoint, Curve};
+use crate::num::{Rat, Value};
+
+use super::conv::push_line;
+use super::envelope::{upper_envelope, Line};
+
+/// Exact min-plus deconvolution of two wide-sense increasing curves.
+pub fn min_plus_deconv(f: &Curve, g: &Curve) -> Curve {
+    debug_assert!(f.is_wide_sense_increasing());
+    debug_assert!(g.is_wide_sense_increasing());
+
+    // Overload: with both tails finite and f growing strictly faster
+    // than g, the supremum diverges for every t.
+    if let (Value::Finite(rf), Value::Finite(rg)) = (f.ultimate_slope(), g.ultimate_slope()) {
+        if rf > rg {
+            return infinite_curve();
+        }
+    }
+
+    // Tail pin: beyond this u both operands are in their final piece,
+    // so h(u) = f(t+u) − g(u) is affine in u with non-positive slope.
+    let u_tail = f.last_breakpoint_x().max(g.last_breakpoint_x()) + Rat::ONE;
+
+    // Candidate abscissas.
+    let mut ts: Vec<Rat> = vec![Rat::ZERO];
+    for bf in f.breakpoints() {
+        for bg in g.breakpoints() {
+            let d = bf.x - bg.x;
+            if d.is_positive() {
+                ts.push(d);
+            }
+        }
+    }
+    ts.sort_unstable();
+    ts.dedup();
+
+    let mut bps: Vec<Breakpoint> = Vec::with_capacity(ts.len());
+    for (k, &a) in ts.iter().enumerate() {
+        let v = deconv_at(f, g, a);
+        let b = ts.get(k + 1).copied();
+        match strategy_lines_deconv(f, g, a, b, u_tail) {
+            None => {
+                bps.push(Breakpoint {
+                    x: a,
+                    v,
+                    v_right: Value::Infinity,
+                    slope: Rat::ZERO,
+                });
+            }
+            Some(lines) => {
+                let env = upper_envelope(&lines, b.map(|b| b - a));
+                bps.push(Breakpoint {
+                    x: a,
+                    v,
+                    v_right: Value::finite(env[0].value),
+                    slope: env[0].slope,
+                });
+                for piece in &env[1..] {
+                    bps.push(Breakpoint::cont(
+                        a + piece.start,
+                        Value::finite(piece.value),
+                        piece.slope,
+                    ));
+                }
+            }
+        }
+    }
+    Curve::from_breakpoints_unchecked(bps)
+}
+
+/// Exact value of `(f ⊘ g)(t)`.
+pub fn deconv_at(f: &Curve, g: &Curve, t: Rat) -> Value {
+    debug_assert!(!t.is_negative());
+    // Diverging tails.
+    if let (Value::Finite(rf), Value::Finite(rg)) = (f.ultimate_slope(), g.ultimate_slope()) {
+        if rf > rg {
+            return Value::Infinity;
+        }
+    }
+    let u_tail = f.last_breakpoint_x().max(g.last_breakpoint_x()) + Rat::ONE;
+
+    let mut grid: Vec<Rat> = vec![Rat::ZERO, u_tail];
+    for bg in g.breakpoints() {
+        grid.push(bg.x);
+    }
+    for bf in f.breakpoints() {
+        let u = bf.x - t;
+        if !u.is_negative() {
+            grid.push(u);
+        }
+    }
+    grid.sort_unstable();
+    grid.dedup();
+
+    let mut best = Value::NegInfinity;
+    for &u in &grid {
+        let s = t + u;
+        // Exact point (skip where g is infinite: no constraint there).
+        if !g.eval(u).is_infinite() {
+            best = best.max(f.eval(s) - g.eval(u));
+        }
+        // Limit u ↓: f((t+u)⁺) − g(u⁺).
+        if !g.eval_right(u).is_infinite() {
+            best = best.max(f.eval_right(s) - g.eval_right(u));
+        }
+        // Limit u ↑ (u > 0): f((t+u)⁻) − g(u⁻).
+        if u.is_positive() && !g.eval_left(u).is_infinite() {
+            best = best.max(f.eval_left(s) - g.eval_left(u));
+        }
+    }
+    // A supremum over a non-empty candidate family is at least f(t)−g(0)
+    // unless g(0)=inf; degenerate case: g ≡ inf ⇒ no constraint at all.
+    if best == Value::NegInfinity {
+        Value::Infinity
+    } else {
+        best
+    }
+}
+
+/// Build the affine strategies governing `(f ⊘ g)` on the open interval
+/// `(a, b)`. Returns `None` when the supremum is `+∞` there.
+fn strategy_lines_deconv(
+    f: &Curve,
+    g: &Curve,
+    a: Rat,
+    b: Option<Rat>,
+    u_tail: Rat,
+) -> Option<Vec<Line>> {
+    let (m1, m2) = match b {
+        Some(b) => {
+            let d = (b - a) / Rat::int(3);
+            (a + d, a + d + d)
+        }
+        None => (a + Rat::ONE, a + Rat::int(2)),
+    };
+    let mut lines = Vec::new();
+    let mut infinite = false;
+
+    // Strategies pinned at a breakpoint of g: u ≈ y_j, value
+    // f(t + y_j) − L with L the smallest one-sided value of g at y_j.
+    for bg in g.breakpoints() {
+        let mut l = bg.v.min(bg.v_right);
+        if bg.x.is_positive() {
+            l = l.min(g.eval_left(bg.x));
+        }
+        if l.is_infinite() {
+            continue;
+        }
+        let lf = l.unwrap_finite();
+        // If f is infinite at the interior samples, the sup diverges.
+        if f.eval(m1 + bg.x).is_infinite() {
+            infinite = true;
+            break;
+        }
+        push_line(&mut lines, m1, m2, a, |m| {
+            f.eval(m + bg.x) - Value::finite(lf)
+        });
+    }
+    // Strategies pinned at a breakpoint of f: u = x_i − t, value
+    // K − g(x_i − t) with K the largest one-sided value of f at x_i.
+    if !infinite {
+        for bf in f.breakpoints() {
+            // Need x_i − t ≥ 0 on the whole interval, i.e. x_i ≥ b; for the
+            // unbounded tail no f-breakpoint qualifies.
+            let qualifies = match b {
+                Some(b) => bf.x >= b,
+                None => false,
+            };
+            if !qualifies {
+                continue;
+            }
+            let mut k = bf.v.max(bf.v_right);
+            if bf.x.is_positive() {
+                k = k.max(f.eval_left(bf.x));
+            }
+            if k.is_infinite() {
+                // f jumps to +inf at x_i while g is finite just below it:
+                // check g at the matching u.
+                if !g.eval(bf.x - m1).is_infinite() {
+                    infinite = true;
+                    break;
+                }
+                continue;
+            }
+            let kf = k.unwrap_finite();
+            if g.eval(bf.x - m1).is_infinite() {
+                continue;
+            }
+            push_line(&mut lines, m1, m2, a, |m| {
+                Value::finite(kf) - g.eval(bf.x - m)
+            });
+        }
+    }
+    // Tail strategy: u = u_tail (both operands in their final piece; the
+    // supremum over larger u is dominated because the tail slope of h is
+    // rate(f) − rate(g) ≤ 0 after the upfront overload check).
+    if !infinite && !g.eval(u_tail).is_infinite() {
+        if f.eval(m1 + u_tail).is_infinite() {
+            infinite = true;
+        } else {
+            let gu = g.eval(u_tail);
+            push_line(&mut lines, m1, m2, a, |m| f.eval(m + u_tail) - gu);
+        }
+    }
+
+    if infinite {
+        None
+    } else if lines.is_empty() {
+        // g infinite everywhere it matters: unconstrained output.
+        None
+    } else {
+        Some(lines)
+    }
+}
+
+/// The curve that is `+∞` everywhere (diverged bound).
+pub fn infinite_curve() -> Curve {
+    Curve::from_breakpoints_unchecked(vec![Breakpoint {
+        x: Rat::ZERO,
+        v: Value::Infinity,
+        v_right: Value::Infinity,
+        slope: Rat::ZERO,
+    }])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::shapes;
+    use crate::num::rat;
+    use crate::ops::conv::min_plus_conv;
+
+    fn lb(r: i64, b: i64) -> Curve {
+        shapes::leaky_bucket(Rat::int(r), Rat::int(b))
+    }
+    fn rl(r: i64, t: i64) -> Curve {
+        shapes::rate_latency(Rat::int(r), Rat::int(t))
+    }
+
+    fn check_against_sampling(f: &Curve, g: &Curve, c: &Curve, t_max: i128, denom: i128) {
+        let u_hi = 40;
+        for num in 0..(t_max * denom) {
+            let t = rat(num, denom);
+            let exact = deconv_at(f, g, t);
+            assert_eq!(c.eval(t), exact, "curve disagrees with deconv_at at {t:?}");
+            // The sup dominates every sampled candidate.
+            for k in 0..=(u_hi * 4) {
+                let u = rat(k, 4);
+                if g.eval(u).is_infinite() {
+                    continue;
+                }
+                let cand = f.eval(t + u) - g.eval(u);
+                assert!(exact >= cand, "sup below sample at t={t:?}, u={u:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lb_deconv_rl_closed_form() {
+        // Classic output bound: LB(r,b) ⊘ RL(R,T) = LB(r, b + rT) for
+        // r ≤ R and t > 0. At t = 0 the exact deconvolution equals the
+        // vertical deviation sup_u {α(u) − β(u)} = b + rT (the textbook
+        // closed form quietly redefines the value at 0).
+        let a = lb(2, 5);
+        let b = rl(3, 4);
+        let out = min_plus_deconv(&a, &b);
+        assert_eq!(out.eval(Rat::ZERO), Value::from(13));
+        let expect = lb(2, 5 + 2 * 4);
+        for num in 1..40 {
+            let t = rat(num, 3);
+            assert_eq!(out.eval(t), expect.eval(t), "t = {t:?}");
+        }
+        check_against_sampling(&a, &b, &out, 8, 2);
+    }
+
+    #[test]
+    fn deconv_overload_diverges() {
+        // Arrival rate exceeds service rate: R_α > R_β ⇒ infinite bound
+        // (the paper's §3 overload discussion).
+        let a = lb(5, 1);
+        let b = rl(3, 1);
+        let out = min_plus_deconv(&a, &b);
+        assert_eq!(out.eval(Rat::ZERO), Value::Infinity);
+        assert_eq!(out.eval(Rat::int(10)), Value::Infinity);
+    }
+
+    #[test]
+    fn deconv_equal_rates_finite() {
+        // R_α = R_β: finite bound with the full latency burst.
+        let a = lb(3, 2);
+        let b = rl(3, 4);
+        let out = min_plus_deconv(&a, &b);
+        assert_eq!(out.eval(Rat::ZERO), Value::from(14));
+        let expect = lb(3, 2 + 3 * 4);
+        for num in 1..30 {
+            let t = rat(num, 2);
+            assert_eq!(out.eval(t), expect.eval(t), "t = {t:?}");
+        }
+        check_against_sampling(&a, &b, &out, 8, 2);
+    }
+
+    #[test]
+    fn deconv_by_delta_shifts_left() {
+        // f ⊘ δ_T = f(t + T).
+        let f = rl(2, 3);
+        let out = min_plus_deconv(&f, &shapes::delta(Rat::int(1)));
+        assert_eq!(out, rl(2, 2));
+    }
+
+    #[test]
+    fn delta_deconv_delta() {
+        // δ_2 ⊘ δ_1 = δ_1.
+        let out = min_plus_deconv(&shapes::delta(Rat::int(2)), &shapes::delta(Rat::ONE));
+        assert_eq!(out, shapes::delta(Rat::ONE));
+    }
+
+    #[test]
+    fn deconv_self_is_subadditive_envelope() {
+        // f ⊘ f for LB is LB itself (already subadditive).
+        let a = lb(2, 5);
+        let out = min_plus_deconv(&a, &a);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn deconv_concave_piecewise() {
+        let a = lb(4, 1).min(&lb(2, 9)); // dual token bucket
+        let b = rl(5, 2);
+        let out = min_plus_deconv(&a, &b);
+        assert!(out.is_wide_sense_increasing());
+        check_against_sampling(&a, &b, &out, 10, 2);
+    }
+
+    #[test]
+    fn deconv_staircase_arrival() {
+        let s = shapes::truncated_staircase(Rat::int(2), Rat::ONE, 3);
+        let b = rl(4, 1);
+        let out = min_plus_deconv(&s, &b);
+        assert!(out.is_wide_sense_increasing());
+        check_against_sampling(&s, &b, &out, 8, 2);
+    }
+
+    #[test]
+    fn output_bound_composition_property() {
+        // (α ⊘ β1) ⊘ β2 == α ⊘ (β1 ⊗ β2) for rate-latency servers.
+        let a = lb(2, 5);
+        let b1 = rl(4, 1);
+        let b2 = rl(3, 2);
+        let lhs = min_plus_deconv(&min_plus_deconv(&a, &b1), &b2);
+        let rhs = min_plus_deconv(&a, &min_plus_conv(&b1, &b2));
+        assert_eq!(lhs, rhs);
+    }
+}

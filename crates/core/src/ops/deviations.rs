@@ -1,0 +1,240 @@
+//! Vertical and horizontal deviations between curves.
+//!
+//! For an arrival curve `α` and service curve `β` these are the
+//! fundamental performance bounds of §3 of the paper:
+//!
+//! * the **backlog bound** `x(t) ≤ sup_t {α(t) − β(t)}` (vertical
+//!   deviation) — the maximum data resident in the system;
+//! * the **virtual delay bound** `d(t) ≤ sup_t inf{d : α(t) ≤ β(t+d)}`
+//!   (horizontal deviation) — the maximum time for the system to emit
+//!   as much data as was sent.
+//!
+//! For the leaky-bucket/rate-latency pair these reduce to the paper's
+//! closed forms `x ≤ b + R_α·T` and `d ≤ T + b/R_β` (tested below).
+
+use crate::curve::pwl::Curve;
+use crate::num::{Rat, Value};
+
+/// Vertical deviation `sup_{t ≥ 0} { f(t) − g(t) }`.
+///
+/// Returns `+∞` when `f` outgrows `g` (in particular the overload case
+/// `R_α > R_β`). Points where `g = +∞` impose no constraint.
+pub fn vertical_deviation(f: &Curve, g: &Curve) -> Value {
+    // Tail behaviour.
+    match (f.ultimate_slope(), g.ultimate_slope()) {
+        (Value::Finite(rf), Value::Finite(rg)) if rf > rg => return Value::Infinity,
+        _ => {}
+    }
+    let t_star = f.last_breakpoint_x().max(g.last_breakpoint_x()) + Rat::ONE;
+
+    let mut best = Value::NegInfinity;
+    let mut probe = |fv: Value, gv: Value| {
+        if gv.is_infinite() {
+            return;
+        }
+        if fv.is_infinite() {
+            best = Value::Infinity;
+            return;
+        }
+        best = best.max(fv - gv);
+    };
+    let mut xs: Vec<Rat> = f
+        .breakpoints()
+        .iter()
+        .chain(g.breakpoints())
+        .map(|bp| bp.x)
+        .collect();
+    xs.push(t_star);
+    xs.sort_unstable();
+    xs.dedup();
+    for &x in &xs {
+        probe(f.eval(x), g.eval(x));
+        probe(f.eval_right(x), g.eval_right(x));
+        if x.is_positive() {
+            probe(f.eval_left(x), g.eval_left(x));
+        }
+    }
+    if best == Value::NegInfinity {
+        // g infinite wherever probed: no constraint violated.
+        Value::ZERO
+    } else {
+        best.pos()
+    }
+}
+
+/// Horizontal deviation
+/// `sup_{t ≥ 0} inf { d ≥ 0 : f(t) ≤ g(t + d) }`.
+///
+/// Computed through the lower pseudo-inverse `g⁻`: the delay at `t` is
+/// `[g⁻(f(t)) − t]⁺`, and the supremum is attained at a breakpoint of
+/// `f`, at a point where `f` crosses one of `g`'s breakpoint *levels*,
+/// or in the common tail.
+pub fn horizontal_deviation(f: &Curve, g: &Curve) -> Value {
+    match (f.ultimate_slope(), g.ultimate_slope()) {
+        (Value::Finite(rf), Value::Finite(rg)) if rf > rg => return Value::Infinity,
+        (Value::Infinity, Value::Finite(_)) => return Value::Infinity,
+        _ => {}
+    }
+    let t_star = f.last_breakpoint_x().max(g.last_breakpoint_x()) + Rat::ONE;
+
+    // Candidate abscissas of f.
+    let mut ts: Vec<Rat> = f.breakpoints().iter().map(|bp| bp.x).collect();
+    // Points where f reaches (or leaves) one of g's breakpoint levels.
+    for bg in g.breakpoints() {
+        for level in [bg.v, bg.v_right] {
+            if let Value::Finite(t) = f.lower_pseudo_inverse(level) {
+                ts.push(t);
+            }
+            if let Value::Finite(t) = f.upper_pseudo_inverse(level) {
+                ts.push(t);
+            }
+        }
+    }
+    ts.push(t_star);
+    ts.sort_unstable();
+    ts.dedup();
+
+    // The delay profile D(t) = [g⁻(f(t)) − t]⁺ is affine between
+    // candidates but may be discontinuous at them; the supremum is one
+    // of: the value at a candidate, or a one-sided limit there. The
+    // right limit goes through the *upper* pseudo-inverse because the
+    // level approaches f(t⁺) from above.
+    let mut best = Value::ZERO;
+    for &t in &ts {
+        best = best.max(delay_via(g.lower_pseudo_inverse(f.eval(t)), t));
+        // Right limit: a finite level is approached from strictly above
+        // (upper pseudo-inverse); an infinite level stays infinite and
+        // is served once g itself diverges (lower pseudo-inverse).
+        let vr = f.eval_right(t);
+        let s = if vr.is_infinite() {
+            g.lower_pseudo_inverse(vr)
+        } else {
+            g.upper_pseudo_inverse(vr)
+        };
+        best = best.max(delay_via(s, t));
+        if t.is_positive() {
+            best = best.max(delay_via(g.lower_pseudo_inverse(f.eval_left(t)), t));
+        }
+    }
+    best
+}
+
+/// Delay `[s − t]⁺` for a pseudo-inverse result `s`.
+fn delay_via(s: Value, t: Rat) -> Value {
+    match s {
+        Value::Infinity => Value::Infinity,
+        Value::Finite(s) => Value::finite((s - t).max(Rat::ZERO)),
+        Value::NegInfinity => Value::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::shapes;
+    use crate::num::rat;
+
+    fn lb(r: i64, b: i64) -> Curve {
+        shapes::leaky_bucket(Rat::int(r), Rat::int(b))
+    }
+    fn rl(r: i64, t: i64) -> Curve {
+        shapes::rate_latency(Rat::int(r), Rat::int(t))
+    }
+
+    #[test]
+    fn paper_closed_form_backlog() {
+        // x ≤ b + R_α · T  for α = LB(R_α, b), β = RL(R_β, T), R_α ≤ R_β.
+        let a = lb(2, 5);
+        let b = rl(3, 4);
+        assert_eq!(
+            vertical_deviation(&a, &b),
+            Value::from(5 + 2 * 4)
+        );
+    }
+
+    #[test]
+    fn paper_closed_form_delay() {
+        // d ≤ T + b / R_β.
+        let a = lb(2, 5);
+        let b = rl(3, 4);
+        assert_eq!(
+            horizontal_deviation(&a, &b),
+            Value::finite(Rat::int(4) + rat(5, 3))
+        );
+    }
+
+    #[test]
+    fn equal_rates_still_finite() {
+        let a = lb(3, 5);
+        let b = rl(3, 4);
+        assert_eq!(vertical_deviation(&a, &b), Value::from(5 + 3 * 4));
+        assert_eq!(
+            horizontal_deviation(&a, &b),
+            Value::finite(Rat::int(4) + rat(5, 3))
+        );
+    }
+
+    #[test]
+    fn overload_diverges() {
+        let a = lb(5, 1);
+        let b = rl(3, 1);
+        assert_eq!(vertical_deviation(&a, &b), Value::Infinity);
+        assert_eq!(horizontal_deviation(&a, &b), Value::Infinity);
+    }
+
+    #[test]
+    fn identical_curves_zero_deviation() {
+        let a = lb(2, 5);
+        assert_eq!(vertical_deviation(&a, &a), Value::ZERO);
+        assert_eq!(horizontal_deviation(&a, &a), Value::ZERO);
+    }
+
+    #[test]
+    fn service_above_arrival_zero() {
+        let a = shapes::constant_rate(Rat::int(2));
+        let b = shapes::constant_rate(Rat::int(5));
+        assert_eq!(vertical_deviation(&a, &b), Value::ZERO);
+        assert_eq!(horizontal_deviation(&a, &b), Value::ZERO);
+    }
+
+    #[test]
+    fn delta_service_pure_delay() {
+        // β = δ_T serves everything after delay T: hdev = T, vdev = α(T).
+        let a = lb(2, 5);
+        let d = shapes::delta(Rat::int(3));
+        assert_eq!(horizontal_deviation(&a, &d), Value::from(3));
+        // vdev: sup α(t) − δ(t) over t ≤ 3 (δ = 0 there, ∞ after) = α(3) = 11.
+        assert_eq!(vertical_deviation(&a, &d), Value::from(11));
+    }
+
+    #[test]
+    fn multi_segment_deviation() {
+        // Dual token bucket vs rate-latency: the binding point is interior.
+        let a = lb(6, 1).min(&lb(2, 9)); // crossing at t = 2
+        let b = rl(3, 2);
+        // vdev candidates: at t=2: α=13, β=0 → 13; later α grows at 2 < 3.
+        assert_eq!(vertical_deviation(&a, &b), Value::from(13));
+        // hdev at t=2⁻: α=13 → β reaches 13 at 2 + 13/3; minus t=2 → 13/3.
+        assert_eq!(horizontal_deviation(&a, &b), Value::finite(rat(13, 3)));
+    }
+
+    #[test]
+    fn deviation_vs_dense_sampling() {
+        let a = lb(2, 3).min(&shapes::constant_rate(Rat::int(4)));
+        let b = rl(3, 2).add(&rl(1, 1));
+        let v = vertical_deviation(&a, &b);
+        let h = horizontal_deviation(&a, &b);
+        for num in 0..200 {
+            let t = rat(num, 8);
+            let av = a.eval(t);
+            let bv = b.eval(t);
+            if !bv.is_infinite() {
+                assert!(v >= (av - bv).pos(), "vdev missed t={t:?}");
+            }
+            // hdev: the delay at this t never exceeds h.
+            if let Value::Finite(hf) = h {
+                assert!(a.eval(t) <= b.eval(t + hf), "hdev missed t={t:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Exact lower/upper envelopes of finite families of lines.
+//!
+//! Min-plus convolution and deconvolution of piecewise-linear curves
+//! reduce, on each interval between candidate breakpoints, to the
+//! pointwise min (resp. max) of finitely many affine "strategies". The
+//! envelope of a family of lines is computed exactly in rational
+//! arithmetic by the classic slope-ordered stack construction.
+
+use crate::num::Rat;
+
+/// A line `u ↦ v0 + slope · u` over the local coordinate `u`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Line {
+    /// Value at `u = 0`.
+    pub v0: Rat,
+    /// Slope.
+    pub slope: Rat,
+}
+
+/// One affine piece of an envelope: valid on `[start, next_start)` (the
+/// last piece extends to the domain end).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Piece {
+    /// Piece start in local coordinates (`≥ 0`).
+    pub start: Rat,
+    /// Envelope value at `start`.
+    pub value: Rat,
+    /// Envelope slope on the piece.
+    pub slope: Rat,
+}
+
+/// Lower envelope (pointwise min) of `lines` restricted to `[0, len)`
+/// (`len = None` means `[0, ∞)`).
+///
+/// Returns at least one piece; pieces have strictly increasing starts
+/// beginning at `0`, and the envelope is continuous and concave.
+///
+/// # Panics
+/// Panics if `lines` is empty or `len ≤ 0`.
+pub fn lower_envelope(lines: &[Line], len: Option<Rat>) -> Vec<Piece> {
+    envelope(lines, len, false)
+}
+
+/// Upper envelope (pointwise max) of `lines` restricted to `[0, len)`.
+/// The result is continuous and convex.
+pub fn upper_envelope(lines: &[Line], len: Option<Rat>) -> Vec<Piece> {
+    envelope(lines, len, true)
+}
+
+fn envelope(lines: &[Line], len: Option<Rat>, upper: bool) -> Vec<Piece> {
+    assert!(!lines.is_empty(), "envelope of empty line family");
+    if let Some(l) = len {
+        assert!(l.is_positive(), "envelope needs positive domain length");
+    }
+    // Reduce max to min by negation.
+    let mut ls: Vec<Line> = if upper {
+        lines
+            .iter()
+            .map(|l| Line {
+                v0: -l.v0,
+                slope: -l.slope,
+            })
+            .collect()
+    } else {
+        lines.to_vec()
+    };
+
+    // Sort by slope descending; among equal slopes only the lowest line
+    // can ever be minimal.
+    ls.sort_by(|a, b| b.slope.cmp(&a.slope).then(a.v0.cmp(&b.v0)));
+    ls.dedup_by(|next, prev| next.slope == prev.slope);
+
+    // Stack of (line, start), where start is the abscissa from which the
+    // line is the minimum (None = -infinity). Lines are added in order
+    // of strictly decreasing slope, so each new line wins eventually.
+    let mut stack: Vec<(Line, Option<Rat>)> = Vec::with_capacity(ls.len());
+    for l in ls {
+        loop {
+            match stack.last() {
+                None => {
+                    stack.push((l, None));
+                    break;
+                }
+                Some(&(top, top_start)) => {
+                    // top.slope > l.slope strictly (deduped); they cross at
+                    // u* where top.v0 + top.slope u = l.v0 + l.slope u.
+                    let u_star = (l.v0 - top.v0) / (top.slope - l.slope);
+                    // The new line is minimal for u > u*.
+                    match top_start {
+                        Some(ts) if u_star <= ts => {
+                            // Top line never minimal: replaced before it starts.
+                            stack.pop();
+                        }
+                        _ => {
+                            stack.push((l, Some(u_star)));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Clip the full-line envelope to [0, len).
+    let mut out: Vec<Piece> = Vec::new();
+    for (i, &(l, start)) in stack.iter().enumerate() {
+        let piece_start = start.unwrap_or(Rat::ZERO).max(Rat::ZERO);
+        let piece_end = stack.get(i + 1).and_then(|&(_, s)| s);
+        // Skip pieces entirely left of 0 or right of len.
+        if let Some(e) = piece_end {
+            if e <= piece_start {
+                continue;
+            }
+            if e <= Rat::ZERO {
+                continue;
+            }
+        }
+        if let Some(limit) = len {
+            if piece_start >= limit {
+                continue;
+            }
+        }
+        let value = l.v0 + l.slope * piece_start;
+        let sign = if upper { -Rat::ONE } else { Rat::ONE };
+        out.push(Piece {
+            start: piece_start,
+            value: value * sign,
+            slope: l.slope * sign,
+        });
+    }
+    debug_assert!(!out.is_empty());
+    debug_assert!(out[0].start.is_zero());
+    out
+}
+
+/// Evaluate an envelope (as returned by the functions above) at `u`.
+#[cfg(test)]
+fn eval_pieces(pieces: &[Piece], u: Rat) -> Rat {
+    let mut cur = pieces[0];
+    for p in pieces {
+        if p.start <= u {
+            cur = *p;
+        } else {
+            break;
+        }
+    }
+    cur.value + cur.slope * (u - cur.start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::rat;
+
+    fn line(v0: i64, slope: i64) -> Line {
+        Line {
+            v0: Rat::int(v0),
+            slope: Rat::int(slope),
+        }
+    }
+
+    #[test]
+    fn single_line() {
+        let env = lower_envelope(&[line(3, 2)], None);
+        assert_eq!(env.len(), 1);
+        assert_eq!(env[0].start, Rat::ZERO);
+        assert_eq!(env[0].value, Rat::int(3));
+        assert_eq!(env[0].slope, Rat::int(2));
+    }
+
+    #[test]
+    fn two_lines_cross_inside() {
+        // y = 3u and y = 5 + 2u cross at u = 5.
+        let env = lower_envelope(&[line(0, 3), line(5, 2)], None);
+        assert_eq!(env.len(), 2);
+        assert_eq!(env[0].start, Rat::ZERO);
+        assert_eq!(env[0].slope, Rat::int(3));
+        assert_eq!(env[1].start, Rat::int(5));
+        assert_eq!(env[1].value, Rat::int(15));
+        assert_eq!(env[1].slope, Rat::int(2));
+    }
+
+    #[test]
+    fn dominated_line_removed() {
+        // Middle line is everywhere above the envelope of the others.
+        let env = lower_envelope(&[line(0, 3), line(100, 2), line(5, 1)], None);
+        // 3u vs 5 + u: cross at 2.5.
+        assert_eq!(env.len(), 2);
+        assert_eq!(env[1].start, rat(5, 2));
+    }
+
+    #[test]
+    fn equal_slopes_keep_lowest() {
+        let env = lower_envelope(&[line(7, 2), line(3, 2)], None);
+        assert_eq!(env.len(), 1);
+        assert_eq!(env[0].value, Rat::int(3));
+    }
+
+    #[test]
+    fn clipping_to_bounded_domain() {
+        // Crossing at u = 5 but domain is [0, 4): single piece.
+        let env = lower_envelope(&[line(0, 3), line(5, 2)], Some(Rat::int(4)));
+        assert_eq!(env.len(), 1);
+        assert_eq!(env[0].slope, Rat::int(3));
+    }
+
+    #[test]
+    fn crossing_left_of_zero() {
+        // y = 10 + 5u vs y = 2 + u: cross at u = -2; the flat line wins
+        // on the whole domain.
+        let env = lower_envelope(&[line(10, 5), line(2, 1)], None);
+        assert_eq!(env.len(), 1);
+        assert_eq!(env[0].value, Rat::int(2));
+        assert_eq!(env[0].slope, Rat::ONE);
+    }
+
+    #[test]
+    fn upper_envelope_is_max() {
+        let env = upper_envelope(&[line(0, 3), line(5, 2)], None);
+        // Max: 5 + 2u wins until u = 5, then 3u.
+        assert_eq!(env.len(), 2);
+        assert_eq!(env[0].value, Rat::int(5));
+        assert_eq!(env[0].slope, Rat::int(2));
+        assert_eq!(env[1].start, Rat::int(5));
+        assert_eq!(env[1].slope, Rat::int(3));
+    }
+
+    #[test]
+    fn matches_brute_force_min() {
+        let lines = [line(0, 4), line(2, 3), line(7, 1), line(12, 0), line(1, 2)];
+        let env = lower_envelope(&lines, None);
+        for num in 0..60 {
+            let u = rat(num, 3);
+            let brute = lines
+                .iter()
+                .map(|l| l.v0 + l.slope * u)
+                .min()
+                .unwrap();
+            assert_eq!(eval_pieces(&env, u), brute, "u = {u:?}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_max() {
+        let lines = [line(0, 4), line(2, 3), line(7, 1), line(12, 0), line(1, 2)];
+        let env = upper_envelope(&lines, None);
+        for num in 0..60 {
+            let u = rat(num, 3);
+            let brute = lines
+                .iter()
+                .map(|l| l.v0 + l.slope * u)
+                .max()
+                .unwrap();
+            assert_eq!(eval_pieces(&env, u), brute, "u = {u:?}");
+        }
+    }
+}

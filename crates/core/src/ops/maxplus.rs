@@ -1,0 +1,443 @@
+//! Max-plus algebra: the dual operators of §2.
+//!
+//! The paper introduces network calculus as resting on *both* the
+//! min-plus and max-plus algebras ("in max-plus algebra, addition is
+//! replaced by the supremum and, once again, multiplication is replaced
+//! with addition"). Max-plus convolution composes *lower* bounds:
+//! where a (min-plus) arrival curve `α` caps how much data can arrive,
+//! a lower arrival curve `λ` guarantees how much *must* arrive, and a
+//! maximum service curve `γ` composes with it by max-plus convolution
+//! to give guaranteed minimum progress — the tool behind best-case
+//! latency and minimum-throughput analysis.
+//!
+//! ```text
+//! (f ⊗̄ g)(t) = sup_{0 ≤ s ≤ t} { f(s) + g(t − s) }     (max-plus conv)
+//! (f ⊘̄ g)(t) = inf_{u ≥ 0}    { f(t + u) − g(u) }     (max-plus deconv)
+//! ```
+//!
+//! The implementation mirrors the min-plus operators: candidate
+//! breakpoints from Minkowski sums/differences, exact per-interval
+//! upper/lower envelopes of affine strategies.
+
+use crate::curve::pwl::{Breakpoint, Curve};
+use crate::num::{Rat, Value};
+
+use super::conv::push_line;
+use super::envelope::{lower_envelope, upper_envelope, Line};
+
+/// Exact max-plus convolution `sup_{0≤s≤t} f(s) + g(t−s)` of two
+/// wide-sense increasing curves.
+///
+/// The result dominates both operands shifted by the other's origin
+/// value; for curves with `f(0) = g(0) = 0` it dominates `max(f, g)`.
+pub fn max_plus_conv(f: &Curve, g: &Curve) -> Curve {
+    debug_assert!(f.is_wide_sense_increasing());
+    debug_assert!(g.is_wide_sense_increasing());
+
+    let mut ts: Vec<Rat> = Vec::with_capacity(f.len() * g.len());
+    for bf in f.breakpoints() {
+        for bg in g.breakpoints() {
+            ts.push(bf.x + bg.x);
+        }
+    }
+    ts.sort_unstable();
+    ts.dedup();
+
+    let mut bps: Vec<Breakpoint> = Vec::with_capacity(ts.len());
+    for (k, &a) in ts.iter().enumerate() {
+        let v = max_plus_conv_at(f, g, a);
+        let b = ts.get(k + 1).copied();
+        match strategy_lines(f, g, a, b) {
+            None => {
+                bps.push(Breakpoint {
+                    x: a,
+                    v,
+                    v_right: Value::Infinity,
+                    slope: Rat::ZERO,
+                });
+            }
+            Some(lines) => {
+                let env = upper_envelope(&lines, b.map(|b| b - a));
+                bps.push(Breakpoint {
+                    x: a,
+                    v,
+                    v_right: Value::finite(env[0].value),
+                    slope: env[0].slope,
+                });
+                for piece in &env[1..] {
+                    bps.push(Breakpoint::cont(
+                        a + piece.start,
+                        Value::finite(piece.value),
+                        piece.slope,
+                    ));
+                }
+            }
+        }
+    }
+    Curve::from_breakpoints_unchecked(bps)
+}
+
+/// Exact value of the max-plus convolution at `t`.
+pub fn max_plus_conv_at(f: &Curve, g: &Curve, t: Rat) -> Value {
+    debug_assert!(!t.is_negative());
+    let mut grid: Vec<Rat> = vec![Rat::ZERO, t];
+    for bf in f.breakpoints() {
+        if bf.x <= t {
+            grid.push(bf.x);
+        }
+    }
+    for bg in g.breakpoints() {
+        let s = t - bg.x;
+        if !s.is_negative() {
+            grid.push(s);
+        }
+    }
+    grid.sort_unstable();
+    grid.dedup();
+
+    let mut best = Value::NegInfinity;
+    for &s in &grid {
+        let u = t - s;
+        best = best.max(f.eval(s) + g.eval(u));
+        if s < t {
+            best = best.max(f.eval_right(s) + g.eval_left(u));
+        }
+        if s.is_positive() {
+            best = best.max(f.eval_left(s) + g.eval_right(u));
+        }
+    }
+    best
+}
+
+/// Affine strategies on `(a, b)` — same pinning argument as the
+/// min-plus case, but keeping the *largest* one-sided values because we
+/// take a supremum.
+fn strategy_lines(f: &Curve, g: &Curve, a: Rat, b: Option<Rat>) -> Option<Vec<Line>> {
+    let (m1, m2) = match b {
+        Some(b) => {
+            let d = (b - a) / Rat::int(3);
+            (a + d, a + d + d)
+        }
+        None => (a + Rat::ONE, a + Rat::int(2)),
+    };
+    let mut lines = Vec::new();
+    let mut infinite = false;
+
+    for bf in f.breakpoints() {
+        if bf.x > a {
+            continue;
+        }
+        let mut k = bf.v.max(bf.v_right);
+        if bf.x.is_positive() {
+            k = k.max(f.eval_left(bf.x));
+        }
+        if k.is_infinite() {
+            infinite = true;
+            break;
+        }
+        if g.eval(m1 - bf.x).is_infinite() {
+            infinite = true;
+            break;
+        }
+        push_line(&mut lines, m1, m2, a, |m| k + g.eval(m - bf.x));
+    }
+    if !infinite {
+        for bg in g.breakpoints() {
+            if bg.x > a {
+                continue;
+            }
+            let mut l = bg.v.max(bg.v_right);
+            if bg.x.is_positive() {
+                l = l.max(g.eval_left(bg.x));
+            }
+            if l.is_infinite() {
+                infinite = true;
+                break;
+            }
+            if f.eval(m1 - bg.x).is_infinite() {
+                infinite = true;
+                break;
+            }
+            push_line(&mut lines, m1, m2, a, |m| f.eval(m - bg.x) + l);
+        }
+    }
+    if infinite || lines.is_empty() {
+        None
+    } else {
+        Some(lines)
+    }
+}
+
+/// Exact max-plus deconvolution `inf_{u ≥ 0} f(t+u) − g(u)`.
+///
+/// For a flow with guaranteed minimum input `λ` through a server with
+/// guaranteed service `β`, `λ ⊘̄ β`-style expressions lower-bound the
+/// output; points where `g` is infinite dominate the infimum and yield
+/// `-∞`-free results because `g` is increasing from `g(0)`.
+pub fn max_plus_deconv(f: &Curve, g: &Curve) -> Curve {
+    debug_assert!(f.is_wide_sense_increasing());
+    debug_assert!(g.is_wide_sense_increasing());
+
+    // If g eventually outgrows f the infimum diverges to -inf; for the
+    // curve types used here (both finite rates) we require the
+    // stability condition dual to min-plus deconvolution.
+    if let (Value::Finite(rf), Value::Finite(rg)) = (f.ultimate_slope(), g.ultimate_slope()) {
+        assert!(
+            rf >= rg,
+            "max-plus deconvolution diverges to -inf when rate(f) < rate(g)"
+        );
+    }
+    let u_tail = f.last_breakpoint_x().max(g.last_breakpoint_x()) + Rat::ONE;
+
+    let mut ts: Vec<Rat> = vec![Rat::ZERO];
+    for bf in f.breakpoints() {
+        for bg in g.breakpoints() {
+            let d = bf.x - bg.x;
+            if d.is_positive() {
+                ts.push(d);
+            }
+        }
+    }
+    ts.sort_unstable();
+    ts.dedup();
+
+    let mut bps: Vec<Breakpoint> = Vec::with_capacity(ts.len());
+    for (k, &a) in ts.iter().enumerate() {
+        let v = max_plus_deconv_at(f, g, a);
+        let b = ts.get(k + 1).copied();
+        let lines = deconv_strategy_lines(f, g, a, b, u_tail);
+        match lines {
+            None => bps.push(Breakpoint {
+                x: a,
+                v,
+                v_right: Value::Infinity,
+                slope: Rat::ZERO,
+            }),
+            Some(lines) => {
+                let env = lower_envelope(&lines, b.map(|b| b - a));
+                bps.push(Breakpoint {
+                    x: a,
+                    v,
+                    v_right: Value::finite(env[0].value),
+                    slope: env[0].slope,
+                });
+                for piece in &env[1..] {
+                    bps.push(Breakpoint::cont(
+                        a + piece.start,
+                        Value::finite(piece.value),
+                        piece.slope,
+                    ));
+                }
+            }
+        }
+    }
+    Curve::from_breakpoints_unchecked(bps)
+}
+
+/// Exact value of the max-plus deconvolution at `t`.
+pub fn max_plus_deconv_at(f: &Curve, g: &Curve, t: Rat) -> Value {
+    let u_tail = f.last_breakpoint_x().max(g.last_breakpoint_x()) + Rat::ONE;
+    let mut grid: Vec<Rat> = vec![Rat::ZERO, u_tail];
+    for bg in g.breakpoints() {
+        grid.push(bg.x);
+    }
+    for bf in f.breakpoints() {
+        let u = bf.x - t;
+        if !u.is_negative() {
+            grid.push(u);
+        }
+    }
+    grid.sort_unstable();
+    grid.dedup();
+
+    let mut best = Value::Infinity;
+    for &u in &grid {
+        let s = t + u;
+        if !g.eval(u).is_infinite() {
+            best = best.min(f.eval(s) - g.eval(u));
+        }
+        if !g.eval_right(u).is_infinite() && !f.eval_right(s).is_infinite() {
+            best = best.min(f.eval_right(s) - g.eval_right(u));
+        }
+        if u.is_positive() && !g.eval_left(u).is_infinite() && !f.eval_left(s).is_infinite() {
+            best = best.min(f.eval_left(s) - g.eval_left(u));
+        }
+    }
+    best
+}
+
+/// Strategies for the deconvolution infimum: smallest one-sided values.
+fn deconv_strategy_lines(
+    f: &Curve,
+    g: &Curve,
+    a: Rat,
+    b: Option<Rat>,
+    u_tail: Rat,
+) -> Option<Vec<Line>> {
+    let (m1, m2) = match b {
+        Some(b) => {
+            let d = (b - a) / Rat::int(3);
+            (a + d, a + d + d)
+        }
+        None => (a + Rat::ONE, a + Rat::int(2)),
+    };
+    let mut lines = Vec::new();
+
+    for bg in g.breakpoints() {
+        let mut l = bg.v.min(bg.v_right);
+        if bg.x.is_positive() {
+            l = l.min(g.eval_left(bg.x));
+        }
+        let Some(lf) = l.as_finite() else { continue };
+        if f.eval(m1 + bg.x).is_infinite() {
+            continue;
+        }
+        push_line(&mut lines, m1, m2, a, |m| {
+            f.eval(m + bg.x) - Value::finite(lf)
+        });
+    }
+    for bf in f.breakpoints() {
+        let qualifies = match b {
+            Some(b) => bf.x >= b,
+            None => false,
+        };
+        if !qualifies {
+            continue;
+        }
+        let mut k = bf.v.min(bf.v_right);
+        if bf.x.is_positive() {
+            k = k.min(f.eval_left(bf.x));
+        }
+        let Some(kf) = k.as_finite() else { continue };
+        if g.eval(bf.x - m1).is_infinite() {
+            continue;
+        }
+        push_line(&mut lines, m1, m2, a, |m| {
+            Value::finite(kf) - g.eval(bf.x - m)
+        });
+    }
+    if !g.eval(u_tail).is_infinite() && !f.eval(m1 + u_tail).is_infinite() {
+        let gu = g.eval(u_tail);
+        push_line(&mut lines, m1, m2, a, |m| f.eval(m + u_tail) - gu);
+    }
+
+    if lines.is_empty() {
+        None
+    } else {
+        Some(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::shapes;
+    use crate::num::rat;
+
+    fn lb(r: i64, b: i64) -> Curve {
+        shapes::leaky_bucket(Rat::int(r), Rat::int(b))
+    }
+    fn rl(r: i64, t: i64) -> Curve {
+        shapes::rate_latency(Rat::int(r), Rat::int(t))
+    }
+
+    #[test]
+    fn conv_of_rates_adds_nothing_weird() {
+        // For pure-rate curves, sup_s r1·s + r2·(t−s) = max(r1, r2)·t.
+        let f = shapes::constant_rate(Rat::int(2));
+        let g = shapes::constant_rate(Rat::int(5));
+        let c = max_plus_conv(&f, &g);
+        for n in 0..20 {
+            let t = rat(n, 2);
+            assert_eq!(c.eval(t), Value::finite(Rat::int(5) * t));
+        }
+    }
+
+    #[test]
+    fn conv_dominates_operands() {
+        let f = lb(2, 5);
+        let g = rl(3, 4);
+        let c = max_plus_conv(&f, &g);
+        for n in 0..30 {
+            let t = rat(n, 2);
+            assert!(c.eval(t) >= f.eval(t));
+            assert!(c.eval(t) >= g.eval(t));
+        }
+        assert!(c.is_wide_sense_increasing());
+    }
+
+    #[test]
+    fn conv_commutative() {
+        let f = lb(2, 5).min(&shapes::constant_rate(Rat::int(6)));
+        let g = rl(3, 2);
+        assert_eq!(max_plus_conv(&f, &g), max_plus_conv(&g, &f));
+    }
+
+    #[test]
+    fn conv_matches_pointwise_sup() {
+        let f = lb(2, 5);
+        let g = rl(3, 4).add(&rl(1, 1));
+        let c = max_plus_conv(&f, &g);
+        for n in 0..40 {
+            let t = rat(n, 3);
+            let exact = max_plus_conv_at(&f, &g, t);
+            assert_eq!(c.eval(t), exact, "t = {t:?}");
+            for k in 0..=24 {
+                let s = t * rat(k, 24);
+                assert!(exact >= f.eval(s) + g.eval(t - s));
+            }
+        }
+    }
+
+    #[test]
+    fn deconv_matches_pointwise_inf() {
+        let f = lb(4, 5);
+        let g = rl(3, 2);
+        let c = max_plus_deconv(&f, &g);
+        for n in 0..30 {
+            let t = rat(n, 2);
+            let exact = max_plus_deconv_at(&f, &g, t);
+            assert_eq!(c.eval(t), exact, "t = {t:?}");
+            for k in 0..=40 {
+                let u = rat(k, 4);
+                if g.eval(u).is_infinite() {
+                    continue;
+                }
+                assert!(exact <= f.eval(t + u) - g.eval(u));
+            }
+        }
+    }
+
+    #[test]
+    fn min_progress_through_server() {
+        // A flow guaranteed to deliver at least λ(t) = 4(t−1)⁺ against
+        // a capacity envelope γ(t) = 3t: the max-plus deconvolution
+        // lower-bounds the residual progress; at t = 0 it is the worst
+        // shortfall, attained at u = 1 (value −3).
+        let lambda = rl(4, 1);
+        let gamma = shapes::constant_rate(Rat::int(3));
+        let d = max_plus_deconv(&lambda, &gamma);
+        assert_eq!(d.eval(Rat::ZERO), Value::from(-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "diverges")]
+    fn deconv_rejects_divergent_pair() {
+        let f = shapes::constant_rate(Rat::int(1));
+        let g = shapes::constant_rate(Rat::int(5));
+        let _ = max_plus_deconv(&f, &g);
+    }
+
+    #[test]
+    fn duality_with_min_plus_on_affine() {
+        // For concave f and convex g the max-plus conv of (-g) mirrors
+        // min-plus; spot-check the affine identity
+        // (f ⊗̄ f)(t) = f(t) + f(0⁺) burst doubling for leaky buckets.
+        let f = lb(2, 5);
+        let c = max_plus_conv(&f, &f);
+        // sup_s f(s) + f(t−s): both endpoints contribute burst once for
+        // s in the interior: 2t + 10 for t > 0.
+        assert_eq!(c.eval(Rat::int(3)), Value::from(2 * 3 + 10));
+        assert_eq!(c.eval(Rat::ZERO), Value::ZERO);
+    }
+}

@@ -1,0 +1,15 @@
+//! Min-plus algebra operators on curves.
+
+pub mod closure;
+pub mod conv;
+pub mod deconv;
+pub mod envelope;
+pub mod deviations;
+
+pub use closure::{is_subadditive, subadditive_closure, Closure};
+pub use conv::{conv_at, min_plus_conv};
+pub use deconv::{deconv_at, infinite_curve, min_plus_deconv};
+pub use deviations::{horizontal_deviation, vertical_deviation};
+
+pub mod maxplus;
+pub use maxplus::{max_plus_conv, max_plus_deconv};

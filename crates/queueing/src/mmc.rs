@@ -1,0 +1,114 @@
+//! The M/M/c queue: Poisson arrivals, `c` exponential servers.
+//!
+//! Used to model stages that overlap several in-flight jobs (a GPU
+//! running multiple Mercator blocks, or multiple DMA channels), which
+//! the plain M/M/1 baseline cannot express.
+
+use serde::Serialize;
+
+use crate::mm1::QueueError;
+
+/// Steady-state metrics of a stable M/M/c queue.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Mmc {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Per-server service rate µ.
+    pub mu: f64,
+    /// Number of servers.
+    pub servers: u32,
+    /// Total utilization ρ = λ/(cµ).
+    pub rho: f64,
+    /// Erlang-C probability that an arrival must wait.
+    pub p_wait: f64,
+    /// Mean number in system.
+    pub l: f64,
+    /// Mean number waiting.
+    pub lq: f64,
+    /// Mean time in system.
+    pub w: f64,
+    /// Mean waiting time.
+    pub wq: f64,
+}
+
+impl Mmc {
+    /// Analyze an M/M/c queue.
+    pub fn new(lambda: f64, mu: f64, servers: u32) -> Result<Mmc, QueueError> {
+        if !(lambda.is_finite() && mu.is_finite() && lambda > 0.0 && mu > 0.0) || servers == 0 {
+            return Err(QueueError::BadParameters);
+        }
+        let c = servers as f64;
+        let a = lambda / mu; // offered load in Erlangs
+        let rho = a / c;
+        if rho >= 1.0 {
+            return Err(QueueError::Unstable);
+        }
+        // Erlang C via the numerically stable recurrence on Erlang B:
+        // B(0) = 1; B(k) = a·B(k−1) / (k + a·B(k−1)).
+        let mut b = 1.0;
+        for k in 1..=servers {
+            b = a * b / (k as f64 + a * b);
+        }
+        let p_wait = b / (1.0 - rho * (1.0 - b));
+        let lq = p_wait * rho / (1.0 - rho);
+        let wq = lq / lambda;
+        let w = wq + 1.0 / mu;
+        let l = lambda * w;
+        Ok(Mmc {
+            lambda,
+            mu,
+            servers,
+            rho,
+            p_wait,
+            l,
+            lq,
+            w,
+            wq,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1::Mm1;
+
+    #[test]
+    fn single_server_matches_mm1() {
+        let a = Mmc::new(2.0, 5.0, 1).unwrap();
+        let b = Mm1::new(2.0, 5.0).unwrap();
+        assert!((a.l - b.l).abs() < 1e-12);
+        assert!((a.w - b.w).abs() < 1e-12);
+        assert!((a.p_wait - b.rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_two_servers() {
+        // λ=3, µ=2, c=2: a=1.5, ρ=0.75; Erlang-C = 0.6428571…
+        let q = Mmc::new(3.0, 2.0, 2).unwrap();
+        assert!((q.p_wait - 9.0 / 14.0).abs() < 1e-9, "{}", q.p_wait);
+        assert!((q.lq - (9.0 / 14.0) * 3.0).abs() < 1e-9, "{}", q.lq);
+    }
+
+    #[test]
+    fn more_servers_less_waiting() {
+        let w2 = Mmc::new(3.0, 2.0, 2).unwrap().wq;
+        let w3 = Mmc::new(3.0, 2.0, 3).unwrap().wq;
+        let w8 = Mmc::new(3.0, 2.0, 8).unwrap().wq;
+        assert!(w2 > w3 && w3 > w8);
+    }
+
+    #[test]
+    fn stability_boundary() {
+        assert_eq!(Mmc::new(4.0, 2.0, 2).unwrap_err(), QueueError::Unstable);
+        assert!(Mmc::new(3.9, 2.0, 2).is_ok());
+        assert_eq!(Mmc::new(1.0, 1.0, 0).unwrap_err(), QueueError::BadParameters);
+    }
+
+    #[test]
+    fn littles_law() {
+        let q = Mmc::new(5.0, 2.0, 4).unwrap();
+        assert!((q.l - q.lambda * q.w).abs() < 1e-9);
+        assert!((q.lq - q.lambda * q.wq).abs() < 1e-9);
+    }
+}

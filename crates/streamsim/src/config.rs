@@ -1,0 +1,153 @@
+//! Simulation configuration and derived per-node parameters.
+
+use nc_core::pipeline::Pipeline;
+use serde::{Deserialize, Serialize};
+
+/// Knobs for one simulation run of a [`Pipeline`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed; identical seeds reproduce runs bit-for-bit.
+    pub seed: u64,
+    /// Total data volume to push through, in bytes at the pipeline
+    /// input (normalized units).
+    pub total_input: u64,
+    /// Bytes emitted by the source per arrival event (input units).
+    /// Defaults to the first node's job size when `None`.
+    pub source_chunk: Option<u64>,
+    /// Capacity of each inter-stage queue in *local* bytes of the
+    /// producing stage. `None` = unbounded (the paper's default; it
+    /// lists queue-overflow handling as future work).
+    pub queue_capacity: Option<u64>,
+    /// Per-queue capacity override in local bytes of each node's input
+    /// (`queue_capacities[i]` feeds node `i`). Overrides
+    /// `queue_capacity` where set; must be at least the node's job size
+    /// (checked by the simulator). Models the Mercator limited queues
+    /// of §4.1.
+    pub queue_capacities: Option<Vec<u64>>,
+    /// Record cumulative input/output traces (for Figures 4 and 10).
+    pub trace: bool,
+    /// Service-time model for every stage. The paper's simulator uses
+    /// uniform(min,max) execution times; `Exponential` reproduces the
+    /// Markovian assumption of the M/M/1 baseline (ablation), and
+    /// `Deterministic` uses the average rate.
+    pub service_model: ServiceModel,
+}
+
+/// How per-job execution times are drawn from a stage's measured
+/// min/avg/max rates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceModel {
+    /// Uniform on `[job/rate_max, job/rate_min]` — the paper's model.
+    Uniform,
+    /// Exponential with mean `job/rate_avg` — the M/M/1 baseline's
+    /// assumption, for the ablation quantifying its optimism.
+    Exponential,
+    /// Exactly `job/rate_avg` every time.
+    Deterministic,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xC0FFEE,
+            total_input: 64 << 20,
+            source_chunk: None,
+            queue_capacity: None,
+            queue_capacities: None,
+            trace: true,
+            service_model: ServiceModel::Uniform,
+        }
+    }
+}
+
+/// Per-node parameters derived from a [`Pipeline`] in simulator units:
+/// integer local bytes and f64 seconds.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeParams {
+    pub name: String,
+    /// Local bytes consumed per job.
+    pub job_in: u64,
+    /// Local bytes emitted per job.
+    pub job_out: u64,
+    /// Execution-time bounds per job, seconds: `job_in / rate_max` to
+    /// `job_in / rate_min` (the paper's uniform service model).
+    pub exec_min: f64,
+    pub exec_max: f64,
+    /// Mean execution time per job (`job_in / rate_avg`).
+    pub exec_avg: f64,
+    /// One-time startup latency before the first job (the rate-latency
+    /// `T_n`).
+    pub startup: f64,
+    /// Input normalization factor: local bytes at this node's input ×
+    /// `norm_in` = input-referred bytes.
+    pub norm_in: f64,
+}
+
+pub(crate) fn derive_params(p: &Pipeline) -> Vec<NodeParams> {
+    let norms = p.normalization_factors();
+    p.nodes
+        .iter()
+        .zip(norms)
+        .map(|(n, norm)| {
+            let job_in = n.job_in.to_f64().round() as u64;
+            let job_out = n.job_out.to_f64().round() as u64;
+            assert!(job_in > 0 && job_out > 0, "node '{}': job sizes", n.name);
+            let jin = n.job_in.to_f64();
+            NodeParams {
+                name: n.name.clone(),
+                job_in,
+                job_out,
+                exec_min: jin / n.rates.max.to_f64(),
+                exec_max: jin / n.rates.min.to_f64(),
+                exec_avg: jin / n.rates.avg.to_f64(),
+                startup: n.latency.to_f64(),
+                norm_in: norm.to_f64(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::num::Rat;
+    use nc_core::pipeline::{Node, NodeKind, Source, StageRates};
+
+    #[test]
+    fn params_derive_exec_bounds_and_norms() {
+        let p = Pipeline::new(
+            "t",
+            Source {
+                rate: Rat::int(100),
+                burst: Rat::int(8),
+            },
+            vec![
+                Node::new(
+                    "a",
+                    NodeKind::Compute,
+                    StageRates::new(Rat::int(50), Rat::int(75), Rat::int(100)),
+                    Rat::new(1, 2),
+                    Rat::int(8),
+                    Rat::int(2),
+                ),
+                Node::new(
+                    "b",
+                    NodeKind::Compute,
+                    StageRates::fixed(Rat::int(10)),
+                    Rat::ZERO,
+                    Rat::int(2),
+                    Rat::int(2),
+                ),
+            ],
+        );
+        let params = derive_params(&p);
+        assert_eq!(params[0].job_in, 8);
+        assert_eq!(params[0].job_out, 2);
+        assert!((params[0].exec_min - 8.0 / 100.0).abs() < 1e-12);
+        assert!((params[0].exec_max - 8.0 / 50.0).abs() < 1e-12);
+        assert!((params[0].startup - 0.5).abs() < 1e-12);
+        assert_eq!(params[0].norm_in, 1.0);
+        // Node b sees quarter-volume data: norm 4.
+        assert_eq!(params[1].norm_in, 4.0);
+    }
+}

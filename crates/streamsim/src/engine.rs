@@ -1,0 +1,606 @@
+//! The streaming-pipeline simulation: §4.2 of the paper.
+//!
+//! Mirrors the paper's SimPy model: "Each node is given a maximum and
+//! minimum execution time, a data packet size to consume, and data
+//! packet size to emit when the execution time has completed. Discrete
+//! events in the simulation model include arrival of a data packet at a
+//! node, initiation of execution of that data packet when the node
+//! becomes free, and departure of the data packet from the node. The
+//! time chosen for execution is chosen from a uniform random
+//! distribution using the minimum and maximum times as bounds."
+//!
+//! Extensions beyond the paper's simulator (both flagged as its
+//! shortfalls/future work): optional *bounded* inter-stage queues with
+//! blocking backpressure, and exact residual accounting.
+//!
+//! All stage-local byte quantities are integers; statistics are
+//! reported input-referred (normalized) so they are directly comparable
+//! with the network-calculus model and the paper's tables.
+
+use nc_core::pipeline::Pipeline;
+use nc_des::{ByteQueue, Dist, Sim, Span, Tally, Time, TimeWeighted};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::{derive_params, NodeParams, ServiceModel, SimConfig};
+use crate::result::SimResult;
+
+struct World {
+    rng: ChaCha8Rng,
+    params: Vec<NodeParams>,
+    /// `queues[i]` feeds node `i` (local bytes of node `i`'s input).
+    queues: Vec<ByteQueue>,
+    busy: Vec<bool>,
+    started: Vec<bool>,
+    /// Accumulated service time per node (for utilization).
+    busy_time: Vec<f64>,
+    /// Jobs completed per node.
+    jobs_done: Vec<u64>,
+    service_model: ServiceModel,
+    /// A finished job waiting for downstream space (backpressure).
+    pending_out: Vec<Option<u64>>,
+
+    // Source.
+    src_remaining: u64,
+    src_chunk: u64,
+    src_interval: f64,
+    src_blocked: bool,
+
+    // Input-referred accounting.
+    sink_norm: f64,
+    cum_in: f64,
+    cum_out: f64,
+    in_system: TimeWeighted,
+    delays: Tally,
+    /// (t, cum_in) steps — always kept for delay lookups.
+    input_steps: Vec<(f64, f64)>,
+    trace: bool,
+    trace_out: Vec<(f64, f64)>,
+    t_last_out: f64,
+}
+
+impl World {
+    fn n(&self) -> usize {
+        self.params.len()
+    }
+}
+
+type S = World;
+
+/// Run the paper's discrete-event simulation of `pipeline`.
+///
+/// # Panics
+/// Panics if the pipeline is invalid (see
+/// [`Pipeline::validate`]) or the configuration is inconsistent.
+pub fn simulate(pipeline: &Pipeline, config: &SimConfig) -> SimResult {
+    pipeline
+        .validate()
+        .unwrap_or_else(|e| panic!("simulate: invalid pipeline: {e}"));
+    let params = derive_params(pipeline);
+    let n = params.len();
+
+    let src_chunk = config
+        .source_chunk
+        .unwrap_or(params[0].job_in)
+        .max(1);
+    let src_rate = pipeline.source.rate.to_f64();
+    assert!(src_rate > 0.0);
+    let sink_norm = {
+        let last = &params[n - 1];
+        last.norm_in * last.job_in as f64 / last.job_out as f64
+    };
+
+    if let Some(caps) = &config.queue_capacities {
+        assert_eq!(
+            caps.len(),
+            n,
+            "queue_capacities must have one entry per node"
+        );
+    }
+    let queues: Vec<ByteQueue> = (0..n)
+        .map(|i| {
+            let cap = config
+                .queue_capacities
+                .as_ref()
+                .map(|caps| caps[i])
+                .or(config.queue_capacity);
+            match cap {
+                None => ByteQueue::unbounded(Time::ZERO),
+                Some(c) => {
+                    assert!(
+                        c >= params[i].job_in,
+                        "queue for node '{}' smaller than its job size",
+                        params[i].name
+                    );
+                    // A queue must also admit whole upstream blocks or
+                    // the pipeline deadlocks.
+                    let upstream = if i == 0 {
+                        src_chunk
+                    } else {
+                        params[i - 1].job_out
+                    };
+                    assert!(
+                        c >= upstream,
+                        "queue for node '{}' smaller than the upstream block ({c} < {upstream})",
+                        params[i].name
+                    );
+                    ByteQueue::bounded(Time::ZERO, c)
+                }
+            }
+        })
+        .collect();
+
+    let world = World {
+        rng: ChaCha8Rng::seed_from_u64(config.seed),
+        params,
+        queues,
+        busy: vec![false; n],
+        started: vec![false; n],
+        busy_time: vec![0.0; n],
+        jobs_done: vec![0u64; n],
+        service_model: config.service_model,
+        pending_out: vec![None; n],
+        src_remaining: config.total_input,
+        src_chunk,
+        src_interval: src_chunk as f64 / src_rate,
+        src_blocked: false,
+        sink_norm,
+        cum_in: 0.0,
+        cum_out: 0.0,
+        in_system: TimeWeighted::new(Time::ZERO, 0.0),
+        delays: Tally::new(),
+        input_steps: Vec::new(),
+        trace: config.trace,
+        trace_out: Vec::new(),
+        t_last_out: 0.0,
+    };
+
+    let mut sim = Sim::new(world);
+    sim.schedule_at(Time::ZERO, source_emit);
+    sim.run();
+
+    let w = &sim.state;
+    let bytes_out = w.cum_out;
+    let makespan = w.t_last_out;
+    let residual: f64 = w
+        .queues
+        .iter()
+        .zip(&w.params)
+        .map(|(q, p)| q.level() as f64 * p.norm_in)
+        .sum();
+    let per_queue_peak = w
+        .queues
+        .iter()
+        .zip(&w.params)
+        .map(|(q, p)| (p.name.clone(), q.peak() * p.norm_in))
+        .collect();
+    let horizon = sim.now().as_secs().max(f64::MIN_POSITIVE);
+    let per_node = w
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| crate::result::NodeStats {
+            name: p.name.clone(),
+            utilization: (w.busy_time[i] / horizon).min(1.0),
+            jobs: w.jobs_done[i],
+            bytes_in: w.jobs_done[i] * p.job_in,
+            avg_queue: w.queues[i].avg_occupancy(sim.now()) * p.norm_in,
+        })
+        .collect();
+    let throughput = if makespan > 0.0 {
+        bytes_out / makespan
+    } else {
+        0.0
+    };
+    SimResult {
+        bytes_out,
+        makespan,
+        throughput,
+        steady_throughput: steady_slope(&w.trace_out).unwrap_or(throughput),
+        delay_min: w.delays.min().unwrap_or(0.0),
+        delay_max: w.delays.max().unwrap_or(0.0),
+        delay_mean: w.delays.mean().unwrap_or(0.0),
+        peak_backlog: w.in_system.max(),
+        per_queue_peak,
+        residual,
+        trace_in: if w.trace {
+            w.input_steps.clone()
+        } else {
+            Vec::new()
+        },
+        trace_out: w.trace_out.clone(),
+        per_node,
+        events: sim.events_processed(),
+    }
+}
+
+/// Source event: emit one chunk into the first queue (or block on a
+/// bounded queue) and reschedule.
+fn source_emit(sim: &mut Sim<S>) {
+    let now = sim.now();
+    let w = &mut sim.state;
+    if w.src_remaining == 0 {
+        return;
+    }
+    let chunk = w.src_chunk.min(w.src_remaining);
+    if !w.queues[0].can_put(chunk) {
+        // Bounded first queue is full: the source stalls until space
+        // appears (pump() will resume it).
+        w.src_blocked = true;
+        return;
+    }
+    w.queues[0].put(now, chunk);
+    w.src_remaining -= chunk;
+    w.cum_in += chunk as f64; // norm_in[0] == 1 by construction
+    w.in_system.add(now, chunk as f64);
+    w.input_steps.push((now.as_secs(), w.cum_in));
+    if w.src_remaining > 0 {
+        let dt = Span::secs(sim.state.src_interval);
+        sim.schedule_in(dt, source_emit);
+    }
+    pump(sim);
+}
+
+/// Fixpoint driver: deliver pending outputs, start idle nodes, resume a
+/// blocked source — repeat until nothing changes. Keeping this logic in
+/// one place makes the backpressure protocol obviously deadlock-free:
+/// every byte movement re-enables every consumer it could unblock.
+fn pump(sim: &mut Sim<S>) {
+    let now = sim.now();
+    loop {
+        let mut progress = false;
+        let n = sim.state.n();
+
+        // Deliveries (downstream first so space opens up within one pass).
+        for i in (0..n).rev() {
+            if let Some(bytes) = sim.state.pending_out[i] {
+                if i + 1 == n {
+                    deliver_to_sink(sim, bytes);
+                    sim.state.pending_out[i] = None;
+                    progress = true;
+                } else if sim.state.queues[i + 1].can_put(bytes) {
+                    sim.state.queues[i + 1].put(now, bytes);
+                    sim.state.pending_out[i] = None;
+                    progress = true;
+                }
+            }
+        }
+
+        // Job initiations.
+        for i in 0..n {
+            let w = &mut sim.state;
+            let p = &w.params[i];
+            let can_start =
+                !w.busy[i] && w.pending_out[i].is_none() && w.queues[i].can_get(p.job_in);
+            if can_start {
+                w.queues[i].get(now, p.job_in);
+                w.busy[i] = true;
+                let startup = if w.started[i] {
+                    0.0
+                } else {
+                    w.started[i] = true;
+                    p.startup
+                };
+                let dist = match w.service_model {
+                    ServiceModel::Uniform => Dist::Uniform {
+                        lo: p.exec_min,
+                        hi: p.exec_max,
+                    },
+                    ServiceModel::Exponential => Dist::Exponential { mean: p.exec_avg },
+                    ServiceModel::Deterministic => Dist::Constant(p.exec_avg),
+                };
+                let exec = dist.sample(&mut w.rng);
+                w.busy_time[i] += exec;
+                sim.schedule_in(Span::secs(startup + exec), move |sim| finish(sim, i));
+                progress = true;
+            }
+        }
+
+        // Source resume.
+        if sim.state.src_blocked && sim.state.queues[0].can_put(sim.state.src_chunk) {
+            sim.state.src_blocked = false;
+            progress = true;
+            source_emit(sim);
+        }
+
+        if !progress {
+            break;
+        }
+    }
+}
+
+/// Node `i` finished a job: its output becomes pending delivery.
+fn finish(sim: &mut Sim<S>, i: usize) {
+    debug_assert!(sim.state.busy[i]);
+    debug_assert!(sim.state.pending_out[i].is_none());
+    sim.state.busy[i] = false;
+    sim.state.jobs_done[i] += 1;
+    sim.state.pending_out[i] = Some(sim.state.params[i].job_out);
+    pump(sim);
+}
+
+/// Final-stage output reaches the sink: record throughput, delay, and
+/// the stairstep trace.
+fn deliver_to_sink(sim: &mut Sim<S>, local_bytes: u64) {
+    let now = sim.now();
+    let w = &mut sim.state;
+    let out_norm = local_bytes as f64 * w.sink_norm;
+    w.cum_out += out_norm;
+    w.in_system.add(now, -out_norm);
+    w.t_last_out = now.as_secs();
+
+    // Virtual delay: when did this cumulative level enter the system?
+    let level = w.cum_out.min(w.cum_in);
+    let t_in = input_time_for_level(&w.input_steps, level);
+    w.delays.record((now.as_secs() - t_in).max(0.0));
+
+    if w.trace {
+        w.trace_out.push((now.as_secs(), w.cum_out));
+    }
+}
+
+/// Slope of the cumulative-output trace between its 10% and 90%
+/// levels — the fill/drain-free steady-state rate.
+fn steady_slope(trace: &[(f64, f64)]) -> Option<f64> {
+    let (_, total) = *trace.last()?;
+    if total <= 0.0 || trace.len() < 8 {
+        return None;
+    }
+    let (lo_level, hi_level) = (0.1 * total, 0.9 * total);
+    let lo = trace.iter().find(|&&(_, v)| v >= lo_level)?;
+    let hi = trace.iter().find(|&&(_, v)| v >= hi_level)?;
+    let dt = hi.0 - lo.0;
+    if dt <= 0.0 {
+        return None;
+    }
+    Some((hi.1 - lo.1) / dt)
+}
+
+/// Earliest time the cumulative input reached `level` (stairstep
+/// inverse lookup via binary search).
+fn input_time_for_level(steps: &[(f64, f64)], level: f64) -> f64 {
+    debug_assert!(!steps.is_empty());
+    // First step whose cumulative value is >= level.
+    let mut lo = 0usize;
+    let mut hi = steps.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if steps[mid].1 >= level - 1e-9 {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    steps[lo.min(steps.len() - 1)].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::num::Rat;
+    use nc_core::pipeline::{Node, NodeKind, Source, StageRates};
+
+    fn node(name: &str, rmin: i64, rmax: i64, jin: i64, jout: i64) -> Node {
+        Node::new(
+            name,
+            NodeKind::Compute,
+            StageRates::new(
+                Rat::int(rmin),
+                Rat::int((rmin + rmax) / 2),
+                Rat::int(rmax),
+            ),
+            Rat::ZERO,
+            Rat::int(jin),
+            Rat::int(jout),
+        )
+    }
+
+    fn pipeline(rate: i64, nodes: Vec<Node>) -> Pipeline {
+        Pipeline::new(
+            "test",
+            Source {
+                rate: Rat::int(rate),
+                burst: Rat::int(64),
+            },
+            nodes,
+        )
+    }
+
+    fn cfg(total: u64) -> SimConfig {
+        SimConfig {
+            seed: 1,
+            total_input: total,
+            source_chunk: Some(64),
+            queue_capacity: None,
+            queue_capacities: None,
+            service_model: ServiceModel::Uniform,
+            trace: true,
+        }
+    }
+
+    #[test]
+    fn conserves_volume_identity_pipeline() {
+        // One deterministic stage, 1:1 jobs: everything drains.
+        let p = pipeline(1000, vec![node("id", 500, 500, 64, 64)]);
+        let r = simulate(&p, &cfg(64 * 100));
+        assert_eq!(r.bytes_out, 6400.0);
+        assert_eq!(r.residual, 0.0);
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn throughput_tracks_bottleneck() {
+        // Source 1000 B/s feeds a 500 B/s stage: output rate ≈ 500.
+        let p = pipeline(1000, vec![node("slow", 500, 500, 64, 64)]);
+        let r = simulate(&p, &cfg(64 * 200));
+        assert!(
+            (r.throughput - 500.0).abs() / 500.0 < 0.05,
+            "throughput {} vs 500",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn source_limited_throughput() {
+        // Source 300 B/s feeds a 1000 B/s stage: output rate ≈ 300.
+        let p = pipeline(300, vec![node("fast", 1000, 1000, 64, 64)]);
+        let r = simulate(&p, &cfg(64 * 100));
+        assert!(
+            (r.throughput - 300.0).abs() / 300.0 < 0.07,
+            "throughput {} vs 300",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn job_ratio_volume_conservation() {
+        // 4:1 then 1:4 — normalized output equals input.
+        let p = pipeline(
+            1000,
+            vec![node("pack", 800, 800, 64, 16), node("unpack", 800, 800, 16, 64)],
+        );
+        let r = simulate(&p, &cfg(64 * 50));
+        assert!((r.bytes_out - 3200.0).abs() < 1e-6, "out {}", r.bytes_out);
+        assert_eq!(r.residual, 0.0);
+    }
+
+    #[test]
+    fn delays_positive_and_ordered() {
+        let p = pipeline(
+            800,
+            vec![node("a", 600, 900, 64, 64), node("b", 600, 900, 64, 64)],
+        );
+        let r = simulate(&p, &cfg(64 * 100));
+        assert!(r.delay_min > 0.0);
+        assert!(r.delay_min <= r.delay_mean && r.delay_mean <= r.delay_max);
+    }
+
+    #[test]
+    fn backlog_grows_under_overload() {
+        // Overloaded stage: backlog approaches total input.
+        let over = pipeline(1000, vec![node("slow", 100, 100, 64, 64)]);
+        let under = pipeline(1000, vec![node("fast", 2000, 2000, 64, 64)]);
+        let r_over = simulate(&over, &cfg(64 * 50));
+        let r_under = simulate(&under, &cfg(64 * 50));
+        assert!(r_over.peak_backlog > 4.0 * r_under.peak_backlog);
+    }
+
+    #[test]
+    fn bounded_queues_backpressure_without_loss() {
+        let p = pipeline(
+            2000,
+            vec![node("a", 1000, 1000, 64, 64), node("slow", 250, 250, 64, 64)],
+        );
+        let mut c = cfg(64 * 60);
+        c.queue_capacity = Some(256);
+        let r = simulate(&p, &c);
+        // All data still flows (blocking, not dropping)…
+        assert!((r.bytes_out - 64.0 * 60.0).abs() < 1e-6);
+        // …and no queue ever exceeded its capacity.
+        for (name, peak) in &r.per_queue_peak {
+            assert!(*peak <= 256.0 + 1e-9, "queue {name} peaked at {peak}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = pipeline(
+            800,
+            vec![node("a", 600, 900, 64, 64), node("b", 500, 700, 64, 64)],
+        );
+        let r1 = simulate(&p, &cfg(64 * 40));
+        let r2 = simulate(&p, &cfg(64 * 40));
+        assert_eq!(r1.throughput, r2.throughput);
+        assert_eq!(r1.delay_max, r2.delay_max);
+        assert_eq!(r1.peak_backlog, r2.peak_backlog);
+        let mut c3 = cfg(64 * 40);
+        c3.seed = 999;
+        let r3 = simulate(&p, &c3);
+        assert_ne!(r1.delay_max, r3.delay_max);
+    }
+
+    #[test]
+    fn trace_is_monotone_stairstep() {
+        let p = pipeline(800, vec![node("a", 600, 900, 64, 64)]);
+        let r = simulate(&p, &cfg(64 * 30));
+        assert!(!r.trace_out.is_empty());
+        for w in r.trace_out.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert!(!r.trace_in.is_empty());
+    }
+
+    #[test]
+    fn steady_throughput_excludes_fill() {
+        // A big startup latency drags the mean rate but not the steady
+        // slope.
+        let mut slow_start = pipeline(1000, vec![node("s", 500, 500, 64, 64)]);
+        slow_start.nodes[0].latency = Rat::new(1, 1); // 1 s startup
+        let r = simulate(&slow_start, &cfg(64 * 40));
+        assert!(r.throughput < 0.9 * 500.0, "mean {}", r.throughput);
+        assert!(
+            (r.steady_throughput - 500.0).abs() / 500.0 < 0.05,
+            "steady {}",
+            r.steady_throughput
+        );
+    }
+
+    #[test]
+    fn per_node_stats_identify_bottleneck() {
+        let p = pipeline(
+            2000,
+            vec![node("fast", 1500, 1500, 64, 64), node("slow", 300, 300, 64, 64)],
+        );
+        let r = simulate(&p, &cfg(64 * 100));
+        assert_eq!(r.per_node.len(), 2);
+        let fast = &r.per_node[0];
+        let slow = &r.per_node[1];
+        // The slow stage is ~saturated; the fast one mostly idle.
+        assert!(slow.utilization > 0.9, "slow util {}", slow.utilization);
+        assert!(fast.utilization < 0.4, "fast util {}", fast.utilization);
+        // Both processed every job.
+        assert_eq!(fast.jobs, 100);
+        assert_eq!(slow.jobs, 100);
+        assert_eq!(slow.bytes_in, 6400);
+        // The slow stage's queue holds the backlog.
+        assert!(slow.avg_queue > fast.avg_queue);
+    }
+
+    #[test]
+    fn service_models_rank_by_variability() {
+        // Same pipeline at high load under the three service models:
+        // the Markovian (exponential) stages queue far more than the
+        // paper's uniform model, which exceeds deterministic — the
+        // mechanism behind the M/M/1 baseline's optimism/pessimism
+        // mismatch the paper discusses.
+        let p = pipeline(900, vec![node("svc", 800, 1200, 64, 64)]);
+        let run = |model: ServiceModel| {
+            let mut c = cfg(64 * 2000);
+            c.service_model = model;
+            simulate(&p, &c)
+        };
+        let det = run(ServiceModel::Deterministic);
+        let uni = run(ServiceModel::Uniform);
+        let exp = run(ServiceModel::Exponential);
+        assert!(
+            det.delay_mean <= uni.delay_mean && uni.delay_mean < exp.delay_mean,
+            "det {} uni {} exp {}",
+            det.delay_mean,
+            uni.delay_mean,
+            exp.delay_mean
+        );
+        assert!(exp.peak_backlog > uni.peak_backlog);
+    }
+
+    #[test]
+    fn residual_reported_for_partial_jobs() {
+        // 100 bytes with a 64-byte job: one job runs, 36 bytes stuck.
+        let p = pipeline(1000, vec![node("a", 500, 500, 64, 64)]);
+        let mut c = cfg(100);
+        c.source_chunk = Some(50);
+        let r = simulate(&p, &c);
+        assert_eq!(r.bytes_out, 64.0);
+        assert_eq!(r.residual, 36.0);
+    }
+}

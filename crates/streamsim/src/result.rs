@@ -1,0 +1,62 @@
+//! Simulation outputs: the quantities the paper reads off its
+//! discrete-event simulator for Tables 1/3 and Figures 4/10.
+
+use serde::Serialize;
+
+/// Per-node simulation statistics.
+#[derive(Clone, Debug, Serialize)]
+pub struct NodeStats {
+    /// Stage name.
+    pub name: String,
+    /// Fraction of the run the node spent executing jobs (the
+    /// bottleneck sits near 1.0).
+    pub utilization: f64,
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Local bytes consumed.
+    pub bytes_in: u64,
+    /// Time-averaged input-queue occupancy, input-referred bytes.
+    pub avg_queue: f64,
+}
+
+/// Result of one pipeline simulation run.
+#[derive(Clone, Debug, Serialize)]
+pub struct SimResult {
+    /// Total input-referred bytes that left the pipeline.
+    pub bytes_out: f64,
+    /// Time of the last output event, seconds.
+    pub makespan: f64,
+    /// Mean throughput `bytes_out / makespan`, input-referred bytes/s
+    /// (the paper's "discrete-event simulation model" table rows).
+    pub throughput: f64,
+    /// Steady-state throughput: the cumulative-output slope between the
+    /// 10% and 90% levels, excluding pipeline fill and drain. Falls
+    /// back to `throughput` when no trace was recorded.
+    pub steady_throughput: f64,
+    /// Shortest observed end-to-end delay, seconds (paper: "the
+    /// shortest delay being …").
+    pub delay_min: f64,
+    /// Longest observed end-to-end delay, seconds (paper: "the longest
+    /// observed delay in the simulator is …").
+    pub delay_max: f64,
+    /// Mean end-to-end delay, seconds.
+    pub delay_mean: f64,
+    /// Peak data resident anywhere in the system, input-referred bytes
+    /// (paper: "maximum amount of data in system backlog accounting for
+    /// all nodes and queues").
+    pub peak_backlog: f64,
+    /// Peak occupancy of each inter-stage queue, input-referred bytes.
+    pub per_queue_peak: Vec<(String, f64)>,
+    /// Input bytes still stuck in queues at the end (non-zero when the
+    /// total volume is not a multiple of every job size).
+    pub residual: f64,
+    /// Cumulative input trace `(t, bytes)` (empty unless tracing).
+    pub trace_in: Vec<(f64, f64)>,
+    /// Cumulative output trace `(t, bytes)` — the stairstep curves of
+    /// Figures 4 and 10 (empty unless tracing).
+    pub trace_out: Vec<(f64, f64)>,
+    /// Per-node utilization/throughput statistics.
+    pub per_node: Vec<NodeStats>,
+    /// Events executed by the kernel.
+    pub events: u64,
+}

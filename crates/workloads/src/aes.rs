@@ -1,0 +1,402 @@
+//! AES-256 (FIPS-197) with CBC mode and PKCS#7 padding, from scratch.
+//!
+//! Stands in for the Vitis 256-bit CBC AES kernel of the paper's
+//! bump-in-the-wire application (§5). The S-box is generated at compile
+//! time from its algebraic definition (multiplicative inverse in
+//! GF(2⁸) followed by the affine transform), which removes the
+//! possibility of table typos; known-answer tests pin the FIPS-197 and
+//! NIST SP 800-38A vectors.
+//!
+//! This is a straightforward table-free software implementation tuned
+//! for clarity and *measurability* (the paper's methodology measures
+//! each kernel's throughput in isolation), not a hardened cryptographic
+//! library: it makes no constant-time claims.
+
+/// GF(2⁸) multiplication modulo the AES polynomial `x⁸+x⁴+x³+x+1`.
+const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2⁸) (0 maps to 0), via a ↦ a²⁵⁴.
+const fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    let mut result = 1u8;
+    let mut base = a;
+    let mut e = 254u32;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        e >>= 1;
+    }
+    result
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut x = 0usize;
+    while x < 256 {
+        let b = gf_inv(x as u8);
+        t[x] = b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
+        x += 1;
+    }
+    t
+}
+
+const fn invert_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut x = 0usize;
+    while x < 256 {
+        t[sbox[x] as usize] = x as u8;
+        x += 1;
+    }
+    t
+}
+
+/// The AES S-box, generated from its algebraic definition.
+pub static SBOX: [u8; 256] = build_sbox();
+/// The inverse S-box.
+pub static INV_SBOX: [u8; 256] = invert_sbox(&SBOX);
+
+const NB: usize = 4; // columns in the state
+const NK: usize = 8; // 256-bit key words
+const NR: usize = 14; // rounds
+
+/// An expanded AES-256 key schedule.
+#[derive(Clone)]
+pub struct Aes256 {
+    round_keys: [[u8; 16]; NR + 1],
+}
+
+impl Aes256 {
+    /// Expand a 256-bit key.
+    pub fn new(key: &[u8; 32]) -> Aes256 {
+        let mut w = [[0u8; 4]; NB * (NR + 1)];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        let mut rcon = 1u8;
+        for i in NK..NB * (NR + 1) {
+            let mut temp = w[i - 1];
+            if i % NK == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            } else if i % NK == 4 {
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - NK][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; NR + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes256 { round_keys }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..NR {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[NR]);
+    }
+
+    /// Decrypt one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[NR]);
+        for r in (1..NR).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+// The state is stored FIPS-style: state[r][c] = buf[r + 4c].
+
+fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        s[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(s: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [s[r], s[r + 4], s[r + 8], s[r + 12]];
+        for c in 0..4 {
+            s[r + 4 * c] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(s: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [s[r], s[r + 4], s[r + 8], s[r + 12]];
+        for c in 0..4 {
+            s[r + 4 * c] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        s[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        s[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        s[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        s[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        s[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        s[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+/// CBC-mode errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CbcError {
+    /// Ciphertext length not a positive multiple of 16.
+    BadLength,
+    /// PKCS#7 padding malformed after decryption.
+    BadPadding,
+}
+
+impl std::fmt::Display for CbcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CbcError::BadLength => write!(f, "ciphertext length must be a positive multiple of 16"),
+            CbcError::BadPadding => write!(f, "invalid PKCS#7 padding"),
+        }
+    }
+}
+
+impl std::error::Error for CbcError {}
+
+/// Encrypt a raw multiple-of-16 buffer in CBC mode (no padding); used
+/// directly by the known-answer tests and the streaming kernel.
+pub fn cbc_encrypt_raw(aes: &Aes256, iv: &[u8; 16], data: &mut [u8]) {
+    assert!(data.len().is_multiple_of(16), "cbc_encrypt_raw needs 16-byte blocks");
+    let mut prev = *iv;
+    for block in data.chunks_exact_mut(16) {
+        for i in 0..16 {
+            block[i] ^= prev[i];
+        }
+        let b: &mut [u8; 16] = block.try_into().expect("16-byte chunk");
+        aes.encrypt_block(b);
+        prev = *b;
+    }
+}
+
+/// Decrypt a raw multiple-of-16 CBC buffer (no padding removal).
+pub fn cbc_decrypt_raw(aes: &Aes256, iv: &[u8; 16], data: &mut [u8]) -> Result<(), CbcError> {
+    if !data.len().is_multiple_of(16) {
+        return Err(CbcError::BadLength);
+    }
+    let mut prev = *iv;
+    for block in data.chunks_exact_mut(16) {
+        let b: &mut [u8; 16] = block.try_into().expect("16-byte chunk");
+        let cipher = *b;
+        aes.decrypt_block(b);
+        for i in 0..16 {
+            b[i] ^= prev[i];
+        }
+        prev = cipher;
+    }
+    Ok(())
+}
+
+/// CBC-encrypt `plaintext` with PKCS#7 padding; returns the ciphertext.
+pub fn cbc_encrypt(aes: &Aes256, iv: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
+    let pad = 16 - (plaintext.len() % 16);
+    let mut buf = Vec::with_capacity(plaintext.len() + pad);
+    buf.extend_from_slice(plaintext);
+    buf.extend(std::iter::repeat_n(pad as u8, pad));
+    cbc_encrypt_raw(aes, iv, &mut buf);
+    buf
+}
+
+/// CBC-decrypt and strip PKCS#7 padding.
+pub fn cbc_decrypt(aes: &Aes256, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec<u8>, CbcError> {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(16) {
+        return Err(CbcError::BadLength);
+    }
+    let mut buf = ciphertext.to_vec();
+    cbc_decrypt_raw(aes, iv, &mut buf)?;
+    let pad = *buf.last().expect("non-empty") as usize;
+    if pad == 0 || pad > 16 || buf.len() < pad {
+        return Err(CbcError::BadPadding);
+    }
+    if buf[buf.len() - pad..].iter().any(|&b| b as usize != pad) {
+        return Err(CbcError::BadPadding);
+    }
+    buf.truncate(buf.len() - pad);
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        // Bijectivity.
+        let mut seen = [false; 256];
+        for &b in SBOX.iter() {
+            assert!(!seen[b as usize]);
+            seen[b as usize] = true;
+        }
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        // FIPS-197 Appendix C.3.
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes256::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn nist_sp800_38a_cbc_aes256() {
+        // SP 800-38A F.2.5 CBC-AES256.Encrypt, first two blocks.
+        let key: [u8; 32] = hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+            .try_into()
+            .unwrap();
+        let iv: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
+        let aes = Aes256::new(&key);
+        cbc_encrypt_raw(&aes, &iv, &mut data);
+        assert_eq!(
+            data[..16].to_vec(),
+            hex("f58c4c04d6e5f1ba779eabfb5f7bfbd6")
+        );
+        assert_eq!(
+            data[16..].to_vec(),
+            hex("9cfc4e967edb808d679f777bc6702c7d")
+        );
+        cbc_decrypt_raw(&aes, &iv, &mut data).unwrap();
+        assert_eq!(
+            data,
+            hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51")
+        );
+    }
+
+    #[test]
+    fn cbc_roundtrip_with_padding() {
+        let key = [7u8; 32];
+        let iv = [9u8; 16];
+        let aes = Aes256::new(&key);
+        for len in [0usize, 1, 15, 16, 17, 100, 4096] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let ct = cbc_encrypt(&aes, &iv, &msg);
+            assert_eq!(ct.len() % 16, 0);
+            assert!(ct.len() > msg.len()); // padding always added
+            let pt = cbc_decrypt(&aes, &iv, &ct).unwrap();
+            assert_eq!(pt, msg, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn cbc_rejects_malformed() {
+        let aes = Aes256::new(&[1u8; 32]);
+        let iv = [0u8; 16];
+        assert_eq!(cbc_decrypt(&aes, &iv, &[]).unwrap_err(), CbcError::BadLength);
+        assert_eq!(
+            cbc_decrypt(&aes, &iv, &[0u8; 15]).unwrap_err(),
+            CbcError::BadLength
+        );
+        // Random block almost surely yields bad padding.
+        let garbage = [0xA5u8; 16];
+        assert!(matches!(
+            cbc_decrypt(&aes, &iv, &garbage),
+            Err(CbcError::BadPadding) | Ok(_)
+        ));
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext_and_chains() {
+        let aes = Aes256::new(&[3u8; 32]);
+        let iv = [1u8; 16];
+        // Two identical plaintext blocks must encrypt differently (CBC
+        // chaining), unlike ECB.
+        let msg = [0x42u8; 32];
+        let mut raw = msg;
+        cbc_encrypt_raw(&aes, &iv, &mut raw);
+        assert_ne!(raw[..16], raw[16..]);
+    }
+}

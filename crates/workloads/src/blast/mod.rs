@@ -1,0 +1,15 @@
+//! BLASTN biosequence alignment, organized as the streaming stages of
+//! the paper's Figure 2.
+
+pub mod gapped;
+pub mod index;
+pub mod pipeline;
+pub mod stages;
+
+pub use gapped::{gapped_extension, GappedAlignment, GappedParams};
+pub use index::{kmer_code, QueryIndex, NUM_KMERS, SEED_LEN};
+pub use pipeline::{blast_search, blast_search_both_strands, dedup_by_diagonal, BlastResult, StageStats, Strand, StrandHit};
+pub use stages::{
+    seed_enumeration, seed_match, small_extension, ungapped_extension, Extension, SeedMatch,
+    UngappedParams,
+};

@@ -1,0 +1,314 @@
+//! End-to-end BLASTN search over the stage kernels, with the per-stage
+//! stream statistics (items in/out, filter fractions) that drive the
+//! paper's job-ratio modeling.
+
+use serde::Serialize;
+
+use crate::fasta::{fa2bit, reverse_complement};
+
+use super::index::{QueryIndex, SEED_LEN};
+use super::stages::{
+    seed_enumeration, seed_match, small_extension, ungapped_extension, Extension, UngappedParams,
+};
+
+/// Counters for one stage of the dataflow.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct StageStats {
+    /// Work items entering the stage.
+    pub items_in: usize,
+    /// Work items leaving the stage.
+    pub items_out: usize,
+}
+
+impl StageStats {
+    /// Output-to-input ratio (filter < 1, expander > 1).
+    pub fn ratio(&self) -> f64 {
+        if self.items_in == 0 {
+            0.0
+        } else {
+            self.items_out as f64 / self.items_in as f64
+        }
+    }
+}
+
+/// Result of a full BLASTN run.
+#[derive(Clone, Debug, Serialize)]
+pub struct BlastResult {
+    /// Reported alignments (above-threshold ungapped extensions).
+    #[serde(skip)]
+    pub alignments: Vec<Extension>,
+    /// Per-stage stream statistics, in pipeline order:
+    /// `[fa2bit, seed_match, seed_enum, small_ext, ungapped_ext]`.
+    pub stages: [StageStats; 5],
+}
+
+/// Run the complete BLASTN pipeline: `fa2bit → seed match → seed
+/// enumeration → small extension → ungapped extension` (Figure 2 of the
+/// paper; gapped extension is out of scope there too).
+pub fn blast_search(query: &[u8], database: &[u8], params: &UngappedParams) -> BlastResult {
+    assert!(query.len() >= SEED_LEN, "query shorter than a seed");
+    // Stage 1: fa2bit on both inputs (database conversion is the
+    // FPGA-accelerated DIBS step in the paper's deployment).
+    let qp = fa2bit(query);
+    let dbp = fa2bit(database);
+    let s_fa2bit = StageStats {
+        items_in: database.len(),
+        items_out: dbp.len(),
+    };
+
+    let index = QueryIndex::build(&qp, query.len());
+
+    // Stage 2: seed match over byte-aligned 8-mers.
+    let scanned = if database.len() >= SEED_LEN {
+        (database.len() - SEED_LEN) / 4 + 1
+    } else {
+        0
+    };
+    let hits = seed_match(&dbp, database.len(), &index);
+    let s_match = StageStats {
+        items_in: scanned,
+        items_out: hits.len(),
+    };
+
+    // Stage 3: seed enumeration.
+    let seeds = seed_enumeration(&dbp, &hits, &index);
+    let s_enum = StageStats {
+        items_in: hits.len(),
+        items_out: seeds.len(),
+    };
+
+    // Stage 4: small extension.
+    let small = small_extension(&dbp, database.len(), &qp, query.len(), &seeds);
+    let s_small = StageStats {
+        items_in: seeds.len(),
+        items_out: small.len(),
+    };
+
+    // Stage 5: ungapped extension.
+    let alignments = ungapped_extension(&dbp, database.len(), &qp, query.len(), &small, params);
+    let s_ungapped = StageStats {
+        items_in: small.len(),
+        items_out: alignments.len(),
+    };
+
+    BlastResult {
+        alignments,
+        stages: [s_fa2bit, s_match, s_enum, s_small, s_ungapped],
+    }
+}
+
+/// Which query strand produced a hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Strand {
+    /// The query as given.
+    Plus,
+    /// The reverse complement of the query.
+    Minus,
+}
+
+/// An alignment annotated with its strand.
+#[derive(Clone, Copy, Debug)]
+pub struct StrandHit {
+    /// Strand of the query that aligned.
+    pub strand: Strand,
+    /// The alignment (query coordinates are on the stated strand).
+    pub alignment: Extension,
+}
+
+/// Search both query strands, as NCBI BLASTN does: the plus strand and
+/// the reverse complement. Returns all above-threshold alignments with
+/// their strand annotation, plus the per-strand stage statistics.
+pub fn blast_search_both_strands(
+    query: &[u8],
+    database: &[u8],
+    params: &UngappedParams,
+) -> (Vec<StrandHit>, [BlastResult; 2]) {
+    let plus = blast_search(query, database, params);
+    let rc = reverse_complement(query);
+    let minus = blast_search(&rc, database, params);
+    let mut hits = Vec::with_capacity(plus.alignments.len() + minus.alignments.len());
+    hits.extend(plus.alignments.iter().map(|&alignment| StrandHit {
+        strand: Strand::Plus,
+        alignment,
+    }));
+    hits.extend(minus.alignments.iter().map(|&alignment| StrandHit {
+        strand: Strand::Minus,
+        alignment,
+    }));
+    (hits, [plus, minus])
+}
+
+/// Collapse overlapping hits: keep only the best-scoring alignment per
+/// `(strand, diagonal)` — the classic HSP deduplication (seeds along
+/// one homologous region all share the diagonal `p − q`).
+pub fn dedup_by_diagonal(hits: &[StrandHit]) -> Vec<StrandHit> {
+    use std::collections::HashMap;
+    let mut best: HashMap<(bool, i64), StrandHit> = HashMap::new();
+    for &h in hits {
+        let key = (
+            matches!(h.strand, Strand::Plus),
+            h.alignment.seed.p as i64 - h.alignment.seed.q as i64,
+        );
+        best.entry(key)
+            .and_modify(|cur| {
+                if h.alignment.score > cur.alignment.score {
+                    *cur = h;
+                }
+            })
+            .or_insert(h);
+    }
+    let mut out: Vec<StrandHit> = best.into_values().collect();
+    out.sort_by(|a, b| {
+        b.alignment
+            .score
+            .cmp(&a.alignment.score)
+            .then(a.alignment.seed.p.cmp(&b.alignment.seed.p))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fasta::random_dna;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn finds_planted_homology() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let region = random_dna(80, &mut rng);
+        let mut query = random_dna(256, &mut rng);
+        let mut db = random_dna(8192, &mut rng);
+        query[64..144].copy_from_slice(&region);
+        // Plant at a byte-aligned position so the strided seed scan hits it.
+        db[4096..4176].copy_from_slice(&region);
+        let r = blast_search(&query, &db, &UngappedParams::default());
+        assert!(
+            r.alignments
+                .iter()
+                .any(|a| (4096..4176).contains(&(a.seed.p as usize)) && a.score >= 40),
+            "planted region not found: {:?}",
+            r.alignments
+        );
+    }
+
+    #[test]
+    fn random_data_mostly_filtered() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let query = random_dna(256, &mut rng);
+        let db = random_dna(1 << 15, &mut rng);
+        let r = blast_search(&query, &db, &UngappedParams::default());
+        // fa2bit is exactly 4:1.
+        assert!((r.stages[0].ratio() - 0.25).abs() < 0.01);
+        // Seed match filters hard on random data.
+        assert!(r.stages[1].ratio() < 0.05, "{}", r.stages[1].ratio());
+        // Enumeration produces ~1–2 per hit for a non-repetitive query.
+        if r.stages[2].items_in > 0 {
+            assert!(r.stages[2].ratio() >= 1.0 && r.stages[2].ratio() < 3.0);
+        }
+        // Nothing random should survive ungapped extension at default
+        // threshold.
+        assert!(r.alignments.len() <= 1);
+    }
+
+    #[test]
+    fn stage_counts_chain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let query = random_dna(128, &mut rng);
+        let db = random_dna(4096, &mut rng);
+        let r = blast_search(&query, &db, &UngappedParams::default());
+        assert_eq!(r.stages[1].items_out, r.stages[2].items_in);
+        assert_eq!(r.stages[2].items_out, r.stages[3].items_in);
+        assert_eq!(r.stages[3].items_out, r.stages[4].items_in);
+        assert_eq!(r.stages[4].items_out, r.alignments.len());
+    }
+
+    #[test]
+    fn minus_strand_homology_found() {
+        // Plant the *reverse complement* of a query region in the
+        // database: only the minus-strand pass can find it.
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let region = random_dna(96, &mut rng);
+        let mut query = random_dna(256, &mut rng);
+        let mut db = random_dna(8192, &mut rng);
+        query[64..160].copy_from_slice(&region);
+        let rc = crate::fasta::reverse_complement(&region);
+        db[4096..4192].copy_from_slice(&rc);
+        let (hits, [plus, minus]) = blast_search_both_strands(
+            &query,
+            &db,
+            &UngappedParams::default(),
+        );
+        assert!(
+            hits.iter()
+                .any(|h| h.strand == Strand::Minus
+                    && (4090..4192).contains(&(h.alignment.seed.p as usize))),
+            "minus-strand hit missing: {hits:?}"
+        );
+        // The plus strand alone misses it.
+        assert!(!plus
+            .alignments
+            .iter()
+            .any(|a| (4090..4192).contains(&(a.seed.p as usize)) && a.score > 40));
+        assert!(!minus.alignments.is_empty());
+    }
+
+    #[test]
+    fn dedup_keeps_best_per_diagonal() {
+        let mk = |strand, p, q, score| StrandHit {
+            strand,
+            alignment: Extension {
+                seed: super::super::stages::SeedMatch { p, q },
+                left: 0,
+                right: 0,
+                score,
+            },
+        };
+        let hits = vec![
+            mk(Strand::Plus, 100, 50, 20),  // diagonal 50
+            mk(Strand::Plus, 104, 54, 35),  // diagonal 50, better
+            mk(Strand::Plus, 200, 50, 15),  // diagonal 150
+            mk(Strand::Minus, 104, 54, 10), // same diagonal, other strand
+        ];
+        let d = dedup_by_diagonal(&hits);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].alignment.score, 35); // sorted by score desc
+        assert!(d
+            .iter()
+            .any(|h| h.strand == Strand::Minus && h.alignment.score == 10));
+    }
+
+    #[test]
+    fn gapped_stage_composes_with_pipeline() {
+        // Run the GPU pipeline, then host-side gapped extension on its
+        // survivors (Figure 2's dashed final stage).
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let seq = random_dna(512, &mut rng);
+        let r = blast_search(&seq, &seq, &UngappedParams::default());
+        assert!(!r.alignments.is_empty());
+        let qp = crate::fasta::fa2bit(&seq);
+        let g = crate::blast::gapped::gapped_extension(
+            &qp,
+            seq.len(),
+            &qp,
+            seq.len(),
+            &r.alignments,
+            &crate::blast::gapped::GappedParams::default(),
+        );
+        assert_eq!(g.len(), r.alignments.len());
+        for x in &g {
+            assert!(x.score >= x.from.score);
+        }
+    }
+
+    #[test]
+    fn identical_sequences_align_fully() {
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let seq = random_dna(512, &mut rng);
+        let r = blast_search(&seq, &seq, &UngappedParams::default());
+        assert!(!r.alignments.is_empty());
+        let best = r.alignments.iter().map(|a| a.score).max().unwrap();
+        assert!(best >= 100, "best self-alignment score {best}");
+    }
+}

@@ -1,0 +1,383 @@
+//! The BLASTN pipeline stages (§4.1 of the paper).
+//!
+//! Each function is one stage of the NCBI BLASTN computation as the
+//! paper's Mercator/GPU implementation organizes it: seed match, seed
+//! enumeration, small extension, ungapped extension. All stages are
+//! filters or expanders over a stream of work items — exactly the
+//! irregular-dataflow behaviour that motivates the queues between
+//! stages and the job-ratio modeling.
+
+use crate::fasta::base_at;
+
+use super::index::{kmer_code, QueryIndex, SEED_LEN};
+
+/// A seed match: database position `p`, query position `q` (base
+/// coordinates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedMatch {
+    /// Database position of the 8-mer.
+    pub p: u32,
+    /// Query position of the 8-mer.
+    pub q: u32,
+}
+
+/// An extension result: a match with its score and extent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extension {
+    /// The originating seed.
+    pub seed: SeedMatch,
+    /// Leftward extent in bases (from the seed start).
+    pub left: u32,
+    /// Rightward extent in bases (from the seed end).
+    pub right: u32,
+    /// Alignment score (ungapped stage) or total length (small stage).
+    pub score: i32,
+}
+
+/// Stage 2 — **seed match**: scan every byte-aligned 8-mer of the 2-bit
+/// database (stride 4 bases = 1 byte, per §4.1) and keep positions
+/// whose 8-mer occurs in the query. "Seed matching in particular is a
+/// highly effective filter."
+pub fn seed_match(db_packed: &[u8], db_len: usize, index: &QueryIndex) -> Vec<u32> {
+    let mut hits = Vec::new();
+    if db_len < SEED_LEN {
+        return hits;
+    }
+    let mut p = 0usize;
+    while p + SEED_LEN <= db_len {
+        if index.contains(kmer_code(db_packed, p)) {
+            hits.push(p as u32);
+        }
+        p += 4; // byte-aligned stride
+    }
+    hits
+}
+
+/// Stage 3 — **seed enumeration**: expand each hit position into all
+/// `(p, q)` pairs by re-reading the 8-mer from the database and listing
+/// its query positions. "This stage produces on average 1–2 matches per
+/// input position" for non-repetitive queries.
+pub fn seed_enumeration(
+    db_packed: &[u8],
+    hits: &[u32],
+    index: &QueryIndex,
+) -> Vec<SeedMatch> {
+    let mut out = Vec::with_capacity(hits.len() * 2);
+    for &p in hits {
+        let code = kmer_code(db_packed, p as usize);
+        out.extend(
+            index
+                .positions(code)
+                .iter()
+                .map(|&q| SeedMatch { p, q }),
+        );
+    }
+    out
+}
+
+/// Stage 4 — **small extension**: "attempts to extend each match to the
+/// left and right by up to 3 bases. If a match `(p, q)` can be extended
+/// to a total length of at least 11, it is passed on."
+pub fn small_extension(
+    db_packed: &[u8],
+    db_len: usize,
+    query_packed: &[u8],
+    query_len: usize,
+    seeds: &[SeedMatch],
+) -> Vec<Extension> {
+    const MAX_EXT: u32 = 3;
+    const MIN_TOTAL: u32 = 11;
+    let mut out = Vec::new();
+    for &s in seeds {
+        let mut left = 0u32;
+        while left < MAX_EXT {
+            let (dp, dq) = (s.p as i64 - left as i64 - 1, s.q as i64 - left as i64 - 1);
+            if dp < 0 || dq < 0 {
+                break;
+            }
+            if base_at(db_packed, dp as usize) != base_at(query_packed, dq as usize) {
+                break;
+            }
+            left += 1;
+        }
+        let mut right = 0u32;
+        while right < MAX_EXT {
+            let (dp, dq) = (
+                s.p as usize + SEED_LEN + right as usize,
+                s.q as usize + SEED_LEN + right as usize,
+            );
+            if dp >= db_len || dq >= query_len {
+                break;
+            }
+            if base_at(db_packed, dp) != base_at(query_packed, dq) {
+                break;
+            }
+            right += 1;
+        }
+        let total = SEED_LEN as u32 + left + right;
+        if total >= MIN_TOTAL {
+            out.push(Extension {
+                seed: s,
+                left,
+                right,
+                score: total as i32,
+            });
+        }
+    }
+    out
+}
+
+/// Scoring and windowing parameters for ungapped extension.
+#[derive(Clone, Copy, Debug)]
+pub struct UngappedParams {
+    /// Score for a matching base (BLASTN default +1).
+    pub match_score: i32,
+    /// Penalty for a mismatch (BLASTN default −3).
+    pub mismatch_score: i32,
+    /// X-drop: stop extending once the running score falls this far
+    /// below the best seen.
+    pub x_drop: i32,
+    /// Window half-width around the seed (§4.1: "at most a fixed-size
+    /// window (currently 128 bases) centered on the initial seed
+    /// match").
+    pub window: u32,
+    /// Minimum score to report (§4.1: "Only seed matches whose
+    /// highest-scoring ungapped extension score above a specified
+    /// threshold are returned").
+    pub threshold: i32,
+}
+
+impl Default for UngappedParams {
+    fn default() -> Self {
+        UngappedParams {
+            match_score: 1,
+            mismatch_score: -3,
+            x_drop: 10,
+            window: 64,
+            threshold: 16,
+        }
+    }
+}
+
+/// Stage 5 — **ungapped extension**: extend with match/mismatch
+/// scoring and an X-drop cutoff, within the window; keep extensions
+/// scoring above the threshold.
+pub fn ungapped_extension(
+    db_packed: &[u8],
+    db_len: usize,
+    query_packed: &[u8],
+    query_len: usize,
+    candidates: &[Extension],
+    params: &UngappedParams,
+) -> Vec<Extension> {
+    let mut out = Vec::new();
+    for &c in candidates {
+        let s = c.seed;
+        // Seed itself scores as 8 matches.
+        let seed_score = SEED_LEN as i32 * params.match_score;
+
+        // Extend right from the seed end.
+        let (mut best_r, mut run, mut best_right) = (0i32, 0i32, 0u32);
+        let mut k = 0u32;
+        while k < params.window {
+            let (dp, dq) = (
+                s.p as usize + SEED_LEN + k as usize,
+                s.q as usize + SEED_LEN + k as usize,
+            );
+            if dp >= db_len || dq >= query_len {
+                break;
+            }
+            run += if base_at(db_packed, dp) == base_at(query_packed, dq) {
+                params.match_score
+            } else {
+                params.mismatch_score
+            };
+            if run > best_r {
+                best_r = run;
+                best_right = k + 1;
+            }
+            if best_r - run >= params.x_drop {
+                break;
+            }
+            k += 1;
+        }
+
+        // Extend left from the seed start.
+        let (mut best_l, mut run, mut best_left) = (0i32, 0i32, 0u32);
+        let mut k = 0u32;
+        while k < params.window {
+            let dp = s.p as i64 - 1 - k as i64;
+            let dq = s.q as i64 - 1 - k as i64;
+            if dp < 0 || dq < 0 {
+                break;
+            }
+            run += if base_at(db_packed, dp as usize) == base_at(query_packed, dq as usize) {
+                params.match_score
+            } else {
+                params.mismatch_score
+            };
+            if run > best_l {
+                best_l = run;
+                best_left = k + 1;
+            }
+            if best_l - run >= params.x_drop {
+                break;
+            }
+            k += 1;
+        }
+
+        let score = seed_score + best_l + best_r;
+        if score >= params.threshold {
+            out.push(Extension {
+                seed: s,
+                left: best_left,
+                right: best_right,
+                score,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fasta::{fa2bit, random_dna};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn packed(s: &[u8]) -> Vec<u8> {
+        fa2bit(s)
+    }
+
+    #[test]
+    fn seed_match_finds_planted_kmer() {
+        // Plant the query's 8-mer at a byte-aligned database position.
+        let query = b"ACGTACGTCCCCCCCC";
+        let mut db = random_dna(256, &mut ChaCha8Rng::seed_from_u64(3));
+        db[40..48].copy_from_slice(b"ACGTACGT");
+        let qp = packed(query);
+        let dp = packed(&db);
+        let idx = QueryIndex::build(&qp, query.len());
+        let hits = seed_match(&dp, db.len(), &idx);
+        assert!(hits.contains(&40), "hits: {hits:?}");
+    }
+
+    #[test]
+    fn seed_match_filters_most_random_positions() {
+        // A short query covers few of the 65536 8-mers, so almost all
+        // random database positions are filtered ("eliminating the vast
+        // majority of input 8-mers").
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let query = random_dna(512, &mut rng);
+        let db = random_dna(1 << 16, &mut rng);
+        let qp = packed(&query);
+        let dbp = packed(&db);
+        let idx = QueryIndex::build(&qp, query.len());
+        let positions_scanned = (db.len() - 8) / 4 + 1;
+        let hits = seed_match(&dbp, db.len(), &idx);
+        let pass_rate = hits.len() as f64 / positions_scanned as f64;
+        // ~505 distinct 8-mers / 65536 ≈ 0.8% expected.
+        assert!(pass_rate < 0.03, "pass rate {pass_rate}");
+        assert!(!hits.is_empty(), "some hits expected at this size");
+    }
+
+    #[test]
+    fn enumeration_expands_repeats() {
+        // Query repeats its 8-mer: each hit expands to several (p, q).
+        let query = b"ACGTACGTACGTACGT"; // ACGTACGT at q = 0, 4, 8
+        let mut db = random_dna(64, &mut ChaCha8Rng::seed_from_u64(5));
+        db[16..24].copy_from_slice(b"ACGTACGT");
+        let qp = packed(query);
+        let dbp = packed(&db);
+        let idx = QueryIndex::build(&qp, query.len());
+        let hits = seed_match(&dbp, db.len(), &idx);
+        let seeds = seed_enumeration(&dbp, &hits, &idx);
+        let at_16: Vec<_> = seeds.iter().filter(|s| s.p == 16).collect();
+        assert_eq!(at_16.len(), 3);
+    }
+
+    #[test]
+    fn small_extension_filters_short_matches() {
+        // Identical 8-mer context but divergent flanks: total length 8
+        // < 11 → filtered.
+        let query = b"TTTTACGTACGTTTTT";
+        let db = b"GGGGACGTACGTGGGG";
+        let qp = packed(query);
+        let dbp = packed(db);
+        let seed = SeedMatch { p: 4, q: 4 };
+        let out = small_extension(&dbp, db.len(), &qp, query.len(), &[seed]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn small_extension_passes_long_matches() {
+        // Flanks match on both sides: 8 + 3 + 3 = 14 ≥ 11.
+        let query = b"AATTTACGTACGTCCAA";
+        let db = b"GGTTTACGTACGTCCGG";
+        let qp = packed(query);
+        let dbp = packed(db);
+        let seed = SeedMatch { p: 5, q: 5 };
+        let out = small_extension(&dbp, db.len(), &qp, query.len(), &[seed]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].left, 3);
+        assert_eq!(out[0].right, 2);
+        assert_eq!(out[0].score, 13);
+    }
+
+    #[test]
+    fn ungapped_extension_scores_planted_homology() {
+        // A 60-base identical region: score ≈ 60 with defaults.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let region = random_dna(60, &mut rng);
+        let mut query = random_dna(200, &mut rng);
+        let mut db = random_dna(400, &mut rng);
+        query[100..160].copy_from_slice(&region);
+        db[200..260].copy_from_slice(&region);
+        let qp = packed(&query);
+        let dbp = packed(&db);
+        let seed = SeedMatch { p: 220, q: 120 }; // inside the region
+        let cand = Extension {
+            seed,
+            left: 3,
+            right: 3,
+            score: 14,
+        };
+        let out = ungapped_extension(
+            &dbp,
+            db.len(),
+            &qp,
+            query.len(),
+            &[cand],
+            &UngappedParams::default(),
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].score >= 50, "score {}", out[0].score);
+    }
+
+    #[test]
+    fn ungapped_extension_rejects_noise() {
+        // Random flanks: score stays near the seed score of 8 < 16.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let query = random_dna(200, &mut rng);
+        let mut db = random_dna(400, &mut rng);
+        db[100..108].copy_from_slice(&query[50..58]);
+        let qp = packed(&query);
+        let dbp = packed(&db);
+        let cand = Extension {
+            seed: SeedMatch { p: 100, q: 50 },
+            left: 0,
+            right: 0,
+            score: 8,
+        };
+        let out = ungapped_extension(
+            &dbp,
+            db.len(),
+            &qp,
+            query.len(),
+            &[cand],
+            &UngappedParams::default(),
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! FASTA handling and the DIBS `fa2bit` data-integration kernel.
+//!
+//! The first stage of the paper's BLAST pipeline (§4.1): "The DNA
+//! database to be searched, represented in FASTA format, is first
+//! converted to two bits per DNA base" — a pre-processing step from the
+//! Data Integration Benchmark Suite implemented on an FPGA in the
+//! paper, and as a plain CPU kernel here (the models only consume its
+//! measured rate and its exact 4:1 job ratio).
+
+use rand::Rng;
+
+/// Encoding: `A=00, C=01, G=10, T=11`, four bases per byte, first base
+/// in the low bits.
+pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Generate `len` random DNA bases with the given RNG.
+pub fn random_dna(len: usize, rng: &mut impl Rng) -> Vec<u8> {
+    (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect()
+}
+
+/// Render a sequence as FASTA with 70-column lines.
+pub fn to_fasta(header: &str, seq: &[u8]) -> String {
+    let mut s = String::with_capacity(seq.len() + seq.len() / 70 + header.len() + 4);
+    s.push('>');
+    s.push_str(header);
+    s.push('\n');
+    for line in seq.chunks(70) {
+        s.push_str(std::str::from_utf8(line).expect("DNA is ASCII"));
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse a (single-record) FASTA document back into a raw sequence.
+/// Returns `None` if the document has no header line.
+pub fn parse_fasta(doc: &str) -> Option<(String, Vec<u8>)> {
+    let mut lines = doc.lines();
+    let header = lines.next()?.strip_prefix('>')?.to_string();
+    let mut seq = Vec::new();
+    for l in lines {
+        if l.starts_with('>') {
+            break; // single-record parser
+        }
+        seq.extend(l.trim().bytes());
+    }
+    Some((header, seq))
+}
+
+/// `fa2bit`: pack ASCII DNA into 2 bits/base. Non-ACGT characters
+/// (e.g. `N`) are mapped to `A`, matching the benchmark's behaviour of
+/// forcing a 4:1 fixed job ratio.
+pub fn fa2bit(seq: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; seq.len().div_ceil(4)];
+    for (i, &b) in seq.iter().enumerate() {
+        let code = match b {
+            b'A' | b'a' => 0u8,
+            b'C' | b'c' => 1,
+            b'G' | b'g' => 2,
+            b'T' | b't' => 3,
+            _ => 0,
+        };
+        out[i / 4] |= code << ((i % 4) * 2);
+    }
+    out
+}
+
+/// Unpack 2-bit DNA back to ASCII (`len` = number of bases).
+pub fn bit2fa(packed: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= packed.len() * 4, "length exceeds packed data");
+    (0..len)
+        .map(|i| BASES[((packed[i / 4] >> ((i % 4) * 2)) & 0b11) as usize])
+        .collect()
+}
+
+/// Parse a multi-record FASTA document into `(header, sequence)`
+/// records; blank lines and leading whitespace are tolerated. Returns
+/// an empty vector for a document with no records.
+pub fn parse_fasta_multi(doc: &str) -> Vec<(String, Vec<u8>)> {
+    let mut records: Vec<(String, Vec<u8>)> = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim_end();
+        if let Some(h) = line.strip_prefix('>') {
+            records.push((h.to_string(), Vec::new()));
+        } else if let Some((_, seq)) = records.last_mut() {
+            seq.extend(line.trim().bytes());
+        }
+    }
+    records
+}
+
+/// Render multiple records as one FASTA document.
+pub fn to_fasta_multi(records: &[(String, Vec<u8>)]) -> String {
+    records
+        .iter()
+        .map(|(h, s)| to_fasta(h, s))
+        .collect::<String>()
+}
+
+/// Reverse complement of an ASCII DNA sequence (A<->T, C<->G).
+/// BLASTN searches both strands; the minus strand is the reverse
+/// complement of the query.
+pub fn reverse_complement(seq: &[u8]) -> Vec<u8> {
+    seq.iter()
+        .rev()
+        .map(|&b| match b {
+            b'A' | b'a' => b'T',
+            b'T' | b't' => b'A',
+            b'C' | b'c' => b'G',
+            b'G' | b'g' => b'C',
+            other => other,
+        })
+        .collect()
+}
+
+/// Read the base at position `i` from packed 2-bit data.
+#[inline]
+pub fn base_at(packed: &[u8], i: usize) -> u8 {
+    (packed[i / 4] >> ((i % 4) * 2)) & 0b11
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for len in [0usize, 1, 3, 4, 5, 8, 1000, 4097] {
+            let seq = random_dna(len, &mut rng);
+            let packed = fa2bit(&seq);
+            assert_eq!(packed.len(), len.div_ceil(4));
+            assert_eq!(bit2fa(&packed, len), seq, "len {len}");
+        }
+    }
+
+    #[test]
+    fn known_packing() {
+        // ACGT = codes 0,1,2,3 → low-to-high: 0b11100100 = 0xE4.
+        assert_eq!(fa2bit(b"ACGT"), vec![0xE4]);
+        assert_eq!(fa2bit(b"AAAA"), vec![0x00]);
+        assert_eq!(fa2bit(b"TTTT"), vec![0xFF]);
+        assert_eq!(base_at(&[0xE4], 2), 2);
+    }
+
+    #[test]
+    fn job_ratio_is_four_to_one() {
+        // The paper's Figure 3 annotates fa2bit with a 4:1 job ratio.
+        let seq = vec![b'G'; 4096];
+        assert_eq!(fa2bit(&seq).len() * 4, seq.len());
+    }
+
+    #[test]
+    fn non_acgt_maps_to_a() {
+        assert_eq!(fa2bit(b"NNNN"), vec![0x00]);
+        assert_eq!(bit2fa(&fa2bit(b"ANCN"), 4), b"AACA".to_vec());
+    }
+
+    #[test]
+    fn fasta_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let seq = random_dna(333, &mut rng);
+        let doc = to_fasta("chr1 test", &seq);
+        assert!(doc.starts_with(">chr1 test\n"));
+        assert!(doc.lines().skip(1).all(|l| l.len() <= 70));
+        let (h, parsed) = parse_fasta(&doc).unwrap();
+        assert_eq!(h, "chr1 test");
+        assert_eq!(parsed, seq);
+    }
+
+    #[test]
+    fn multi_record_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let records = vec![
+            ("chr1".to_string(), random_dna(150, &mut rng)),
+            ("chr2 plasmid".to_string(), random_dna(71, &mut rng)),
+            ("chr3".to_string(), random_dna(1, &mut rng)),
+        ];
+        let doc = to_fasta_multi(&records);
+        assert_eq!(parse_fasta_multi(&doc), records);
+        // Stray prefix junk before the first record is ignored.
+        let with_junk = format!("; comment
+{doc}");
+        assert_eq!(parse_fasta_multi(&with_junk), records);
+        assert!(parse_fasta_multi("").is_empty());
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let seq = random_dna(501, &mut rng);
+        let rc = reverse_complement(&seq);
+        assert_eq!(reverse_complement(&rc), seq);
+        assert_eq!(reverse_complement(b"ACGT"), b"ACGT".to_vec());
+        assert_eq!(reverse_complement(b"AACG"), b"CGTT".to_vec());
+    }
+
+    #[test]
+    fn parse_rejects_headerless() {
+        assert!(parse_fasta("ACGT\n").is_none());
+        assert!(parse_fasta("").is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Isolation measurement harness.
+//!
+//! The paper's methodology: "Similar to the queuing theory model, we
+//! will test each stage in isolation and measure performance in
+//! isolation" (§5), then feed the min/avg/max throughputs into the
+//! models (Table 2). This harness runs any byte-consuming kernel over
+//! repeated chunks and reports exactly that triple.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Measured throughput triple for one stage, bytes/s of data processed.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct StageMeasurement {
+    /// Slowest observed per-chunk rate.
+    pub min: f64,
+    /// Mean rate over all chunks.
+    pub avg: f64,
+    /// Fastest observed per-chunk rate.
+    pub max: f64,
+    /// Bytes processed in total.
+    pub bytes: u64,
+    /// Number of timed chunks.
+    pub chunks: usize,
+}
+
+impl StageMeasurement {
+    /// Rates in MiB/s as `(min, avg, max)` — the paper's Table 2 units.
+    pub fn mib_per_s(&self) -> (f64, f64, f64) {
+        const MIB: f64 = (1u64 << 20) as f64;
+        (self.min / MIB, self.avg / MIB, self.max / MIB)
+    }
+}
+
+/// Measure `kernel` over `chunks`, timing each invocation. The kernel
+/// receives one chunk per call; its return value is a black box (use it
+/// to prevent the optimizer from deleting work).
+///
+/// `warmup` untimed iterations run first (cache/branch warm-up), per
+/// standard benchmarking practice.
+///
+/// # Panics
+/// Panics if `chunks` is empty or any chunk is.
+pub fn measure_stage<F, R>(chunks: &[&[u8]], warmup: usize, mut kernel: F) -> StageMeasurement
+where
+    F: FnMut(&[u8]) -> R,
+{
+    assert!(!chunks.is_empty(), "need at least one chunk");
+    assert!(chunks.iter().all(|c| !c.is_empty()), "chunks must be non-empty");
+
+    for w in 0..warmup {
+        std::hint::black_box(kernel(chunks[w % chunks.len()]));
+    }
+
+    let mut rates = Vec::with_capacity(chunks.len());
+    let mut total_bytes = 0u64;
+    let mut total_time = 0.0f64;
+    for &chunk in chunks {
+        let t0 = Instant::now();
+        std::hint::black_box(kernel(chunk));
+        let dt = t0.elapsed().as_secs_f64().max(1e-12);
+        rates.push(chunk.len() as f64 / dt);
+        total_bytes += chunk.len() as u64;
+        total_time += dt;
+    }
+    StageMeasurement {
+        min: rates.iter().copied().fold(f64::INFINITY, f64::min),
+        avg: total_bytes as f64 / total_time,
+        max: rates.iter().copied().fold(0.0, f64::max),
+        bytes: total_bytes,
+        chunks: chunks.len(),
+    }
+}
+
+/// Convenience: measure over `reps` repetitions of a single buffer.
+pub fn measure_repeated<F, R>(data: &[u8], reps: usize, warmup: usize, kernel: F) -> StageMeasurement
+where
+    F: FnMut(&[u8]) -> R,
+{
+    assert!(reps > 0);
+    let chunks: Vec<&[u8]> = std::iter::repeat_n(data, reps).collect();
+    measure_stage(&chunks, warmup, kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_invariant() {
+        let data = vec![0xABu8; 1 << 16];
+        let m = measure_repeated(&data, 8, 2, |c| {
+            c.iter().map(|&b| b as u64).sum::<u64>()
+        });
+        assert!(m.min <= m.avg + 1e-9);
+        assert!(m.avg <= m.max + 1e-9);
+        assert!(m.min > 0.0);
+        assert_eq!(m.bytes, 8 << 16);
+        assert_eq!(m.chunks, 8);
+    }
+
+    #[test]
+    fn slower_kernel_measures_slower() {
+        let data = vec![1u8; 1 << 14];
+        let fast = measure_repeated(&data, 6, 2, |c| c.iter().map(|&b| b as u64).sum::<u64>());
+        let slow = measure_repeated(&data, 6, 2, |c| {
+            // ~20x more work per byte.
+            let mut acc = 0u64;
+            for _ in 0..20 {
+                acc = acc.wrapping_add(c.iter().map(|&b| b as u64).sum::<u64>());
+            }
+            acc
+        });
+        assert!(
+            slow.avg < fast.avg,
+            "slow {} !< fast {}",
+            slow.avg,
+            fast.avg
+        );
+    }
+
+    #[test]
+    fn mib_units() {
+        let m = StageMeasurement {
+            min: 1048576.0,
+            avg: 2097152.0,
+            max: 4194304.0,
+            bytes: 0,
+            chunks: 1,
+        };
+        let (lo, mid, hi) = m.mib_per_s();
+        assert_eq!((lo, mid, hi), (1.0, 2.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn empty_chunks_rejected() {
+        let _ = measure_stage(&[], 0, |_| ());
+    }
+}

@@ -1,0 +1,190 @@
+//! xxHash32 — the checksum algorithm of the LZ4 frame format.
+//!
+//! A faithful implementation of Yann Collet's XXH32 (the 32-bit
+//! variant), needed by [`crate::lz4frame`] for header and content
+//! checksums, and useful on its own as a fast non-cryptographic hash
+//! for streaming integrity checks. Verified against the reference
+//! known-answer vectors.
+
+const PRIME1: u32 = 0x9E3779B1;
+const PRIME2: u32 = 0x85EBCA77;
+const PRIME3: u32 = 0xC2B2AE3D;
+const PRIME4: u32 = 0x27D4EB2F;
+const PRIME5: u32 = 0x165667B1;
+
+/// One-shot XXH32 of `data` with `seed`.
+pub fn xxh32(data: &[u8], seed: u32) -> u32 {
+    let mut h = Xxh32::new(seed);
+    h.update(data);
+    h.digest()
+}
+
+/// Streaming XXH32 state.
+#[derive(Clone, Debug)]
+pub struct Xxh32 {
+    seed: u32,
+    acc: [u32; 4],
+    /// Bytes buffered toward the next 16-byte stripe.
+    buf: [u8; 16],
+    buf_len: usize,
+    total: u64,
+}
+
+#[inline]
+fn round(acc: u32, input: u32) -> u32 {
+    acc.wrapping_add(input.wrapping_mul(PRIME2))
+        .rotate_left(13)
+        .wrapping_mul(PRIME1)
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+impl Xxh32 {
+    /// Fresh state with the given seed.
+    pub fn new(seed: u32) -> Xxh32 {
+        Xxh32 {
+            seed,
+            acc: [
+                seed.wrapping_add(PRIME1).wrapping_add(PRIME2),
+                seed.wrapping_add(PRIME2),
+                seed,
+                seed.wrapping_sub(PRIME1),
+            ],
+            buf: [0; 16],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    /// Absorb more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total += data.len() as u64;
+        // Fill the pending stripe first.
+        if self.buf_len > 0 {
+            let need = 16 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let b = self.buf;
+                self.consume_stripe(&b);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                // Everything went into the pending stripe: the stash
+                // below must not clobber it.
+                return;
+            }
+        }
+        // Whole stripes.
+        let mut chunks = data.chunks_exact(16);
+        for stripe in &mut chunks {
+            self.consume_stripe(stripe);
+        }
+        // Stash the tail.
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    fn consume_stripe(&mut self, stripe: &[u8]) {
+        debug_assert_eq!(stripe.len(), 16);
+        self.acc[0] = round(self.acc[0], read_u32(&stripe[0..]));
+        self.acc[1] = round(self.acc[1], read_u32(&stripe[4..]));
+        self.acc[2] = round(self.acc[2], read_u32(&stripe[8..]));
+        self.acc[3] = round(self.acc[3], read_u32(&stripe[12..]));
+    }
+
+    /// Finish and return the 32-bit digest (the state may keep
+    /// absorbing afterwards; `digest` is non-destructive).
+    pub fn digest(&self) -> u32 {
+        let mut h = if self.total >= 16 {
+            self.acc[0]
+                .rotate_left(1)
+                .wrapping_add(self.acc[1].rotate_left(7))
+                .wrapping_add(self.acc[2].rotate_left(12))
+                .wrapping_add(self.acc[3].rotate_left(18))
+        } else {
+            self.seed.wrapping_add(PRIME5)
+        };
+        h = h.wrapping_add(self.total as u32);
+
+        let mut tail = &self.buf[..self.buf_len];
+        while tail.len() >= 4 {
+            h = h
+                .wrapping_add(read_u32(tail).wrapping_mul(PRIME3))
+                .rotate_left(17)
+                .wrapping_mul(PRIME4);
+            tail = &tail[4..];
+        }
+        for &b in tail {
+            h = h
+                .wrapping_add((b as u32).wrapping_mul(PRIME5))
+                .rotate_left(11)
+                .wrapping_mul(PRIME1);
+        }
+
+        h ^= h >> 15;
+        h = h.wrapping_mul(PRIME2);
+        h ^= h >> 13;
+        h = h.wrapping_mul(PRIME3);
+        h ^= h >> 16;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // Canonical XXH32 known answers.
+        assert_eq!(xxh32(b"", 0), 0x02CC_5D05);
+        assert_eq!(xxh32(b"", 1), 0x0B2C_B792);
+        assert_eq!(xxh32(b"abc", 0), 0x32D1_53FF);
+        assert_eq!(xxh32(b"abcd", 0), 0xA364_3705);
+        assert_eq!(
+            xxh32(b"Nobody inspects the spammish repetition", 0),
+            0xE229_3B2F
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0u16..5000).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 3, 15, 16, 17, 100, 4999, 5000] {
+            let mut h = Xxh32::new(7);
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.digest(), xxh32(&data, 7), "split {split}");
+        }
+        // Byte-at-a-time.
+        let mut h = Xxh32::new(7);
+        for &b in &data {
+            h.update(&[b]);
+        }
+        assert_eq!(h.digest(), xxh32(&data, 7));
+    }
+
+    #[test]
+    fn seed_sensitivity() {
+        assert_ne!(xxh32(b"stream", 0), xxh32(b"stream", 1));
+        assert_ne!(xxh32(b"stream", 0), xxh32(b"strean", 0));
+    }
+
+    #[test]
+    fn digest_is_nondestructive() {
+        let mut h = Xxh32::new(0);
+        h.update(b"hello ");
+        let first = h.digest();
+        assert_eq!(first, h.digest());
+        h.update(b"world");
+        assert_ne!(h.digest(), first);
+        assert_eq!(h.digest(), xxh32(b"hello world", 0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the workload kernels: the invariants that
+//! must hold for *any* input, not just the curated unit-test cases.
+
+use nc_workloads::aes::{cbc_decrypt, cbc_encrypt, Aes256};
+use nc_workloads::blast::{blast_search, UngappedParams};
+use nc_workloads::fasta::{bit2fa, fa2bit, parse_fasta, to_fasta};
+use nc_workloads::lz4::{compress, compress_chunked, decompress, decompress_chunked};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lz4_roundtrips_any_bytes(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let c = compress(&data);
+        let d = decompress(&c, data.len().max(16)).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn lz4_roundtrips_compressible(
+        pattern in proptest::collection::vec(any::<u8>(), 1..64),
+        reps in 1usize..200,
+    ) {
+        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * reps).copied().collect();
+        let c = compress(&data);
+        let d = decompress(&c, data.len().max(16)).unwrap();
+        prop_assert_eq!(&d, &data);
+        // Long repetitions must actually compress.
+        if data.len() > 1024 {
+            prop_assert!(c.len() < data.len());
+        }
+    }
+
+    #[test]
+    fn lz4_chunked_roundtrips(
+        data in proptest::collection::vec(any::<u8>(), 0..8192),
+        chunk in 64usize..2048,
+    ) {
+        let (blocks, ratio) = compress_chunked(&data, chunk);
+        prop_assert!(ratio > 0.0);
+        let d = decompress_chunked(&blocks, chunk).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn lz4_decompress_never_panics_on_garbage(
+        garbage in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Any outcome is fine; crashing or unbounded allocation is not.
+        let _ = decompress(&garbage, 1 << 16);
+    }
+
+    #[test]
+    fn aes_cbc_roundtrips(
+        key in proptest::array::uniform32(any::<u8>()),
+        iv in proptest::array::uniform16(any::<u8>()),
+        msg in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let aes = Aes256::new(&key);
+        let ct = cbc_encrypt(&aes, &iv, &msg);
+        prop_assert_eq!(ct.len() % 16, 0);
+        prop_assert!(ct.len() >= msg.len());
+        let pt = cbc_decrypt(&aes, &iv, &ct).unwrap();
+        prop_assert_eq!(pt, msg);
+    }
+
+    #[test]
+    fn aes_block_is_permutation(
+        key in proptest::array::uniform32(any::<u8>()),
+        block in proptest::array::uniform16(any::<u8>()),
+    ) {
+        let aes = Aes256::new(&key);
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        let encrypted = b;
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+        // Encryption is never the identity for a random block (keyed
+        // permutation; probability of fixed point ~2^-128).
+        prop_assert_ne!(encrypted, block);
+    }
+
+    #[test]
+    fn wrong_iv_corrupts_first_block_only(
+        key in proptest::array::uniform32(any::<u8>()),
+        iv in proptest::array::uniform16(any::<u8>()),
+        msg in proptest::collection::vec(any::<u8>(), 33..256),
+    ) {
+        let aes = Aes256::new(&key);
+        let ct = cbc_encrypt(&aes, &iv, &msg);
+        let mut iv2 = iv;
+        iv2[0] ^= 0xFF;
+        if let Ok(pt) = cbc_decrypt(&aes, &iv2, &ct) {
+            // CBC: a wrong IV garbles exactly the first 16 bytes.
+            prop_assert_eq!(&pt[16..], &msg[16..pt.len().min(msg.len())]);
+            prop_assert_ne!(&pt[..16], &msg[..16]);
+        }
+    }
+
+    #[test]
+    fn fa2bit_roundtrips_dna(len in 0usize..4096, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let seq = nc_workloads::fasta::random_dna(len, &mut rng);
+        prop_assert_eq!(bit2fa(&fa2bit(&seq), len), seq);
+    }
+
+    #[test]
+    fn fasta_roundtrips(len in 1usize..2000, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let seq = nc_workloads::fasta::random_dna(len, &mut rng);
+        let (h, parsed) = parse_fasta(&to_fasta("hdr", &seq)).unwrap();
+        prop_assert_eq!(h, "hdr");
+        prop_assert_eq!(parsed, seq);
+    }
+
+    #[test]
+    fn blast_self_search_always_hits(len in 64usize..512, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let seq = nc_workloads::fasta::random_dna(len, &mut rng);
+        let r = blast_search(&seq, &seq, &UngappedParams::default());
+        // A sequence always aligns with itself above threshold (len ≥ 64
+        // guarantees a byte-aligned self seed and score ≥ threshold).
+        prop_assert!(!r.alignments.is_empty());
+        // Stage counts always chain.
+        prop_assert_eq!(r.stages[1].items_out, r.stages[2].items_in);
+        prop_assert_eq!(r.stages[3].items_out, r.stages[4].items_in);
+    }
+}

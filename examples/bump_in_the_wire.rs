@@ -1,0 +1,113 @@
+//! The paper's §5 bump-in-the-wire evaluation — including the
+//! traditional-vs-bump-in-the-wire comparison of Figures 7/8 (the
+//! qualitative payoff: no PCIe round-trip between the FPGA and the
+//! network) and a run of the real LZ4 + AES kernels over a stream.
+//!
+//! Run with `cargo run --release --example bump_in_the_wire`.
+
+use streamcalc::apps::{bitw, format_table};
+use streamcalc::core::num::Rat;
+use streamcalc::core::pipeline::{Node, NodeKind, Pipeline, StageRates};
+use streamcalc::core::units::{fmt_bytes, fmt_time, gib_per_s};
+use streamcalc::core::Value;
+use streamcalc::workloads::aes::{cbc_encrypt, cbc_decrypt, Aes256};
+use streamcalc::workloads::lz4;
+
+fn main() {
+    // ----- 1. The real kernels on a streamed payload ----------------
+    let payload: Vec<u8> = b"telemetry record 0042: temperature=21.5C pressure=1013hPa "
+        .iter()
+        .cycle()
+        .take(1 << 20)
+        .copied()
+        .collect();
+    let (blocks, ratio) = lz4::compress_chunked(&payload, 64 << 10);
+    let aes = Aes256::new(&[9u8; 32]);
+    let iv = [3u8; 16];
+    let encrypted: Vec<Vec<u8>> = blocks
+        .iter()
+        .map(|b| cbc_encrypt(&aes, &iv, b))
+        .collect();
+    // ... network ... then the receive side:
+    let decrypted: Vec<Vec<u8>> = encrypted
+        .iter()
+        .map(|b| cbc_decrypt(&aes, &iv, b).expect("valid ciphertext"))
+        .collect();
+    let restored = lz4::decompress_chunked(&decrypted, 64 << 10).expect("valid stream");
+    assert_eq!(restored, payload);
+    println!(
+        "streamed 1 MiB through compress->encrypt->decrypt->decompress (ratio {ratio:.2}x): OK\n"
+    );
+
+    // ----- 2. The paper's Table 3 + bounds ---------------------------
+    let repro = bitw::reproduce(42);
+    println!(
+        "{}",
+        format_table("Table 3: bump-in-the-wire throughput (ours vs paper)", &repro.table3)
+    );
+    println!(
+        "delay bound d = {} (paper 38 us), backlog bound x = {} (paper 3 KiB)",
+        fmt_time(Value::finite(Rat::from_f64(repro.bounds.delay_bound_s))),
+        fmt_bytes(Value::finite(Rat::from_f64(
+            repro.bounds.backlog_bound_bytes
+        ))),
+    );
+    println!(
+        "light-load sim delay [{:.1}, {:.1}] us, peak backlog {:.0} B, within bounds: {}\n",
+        repro.bounds.sim_delay_min_s * 1e6,
+        repro.bounds.sim_delay_max_s * 1e6,
+        repro.bounds.sim_backlog_bytes,
+        repro.bounds.sim_within_bounds(),
+    );
+
+    // ----- 3. Figures 7 vs 8: the point of bump-in-the-wire ---------
+    // Traditional deployment: the FPGA result must cross PCIe back to
+    // the host and again to the NIC before hitting the network. Bump in
+    // the wire removes both hops.
+    let traditional = with_extra_pcie_hops(bitw::pipeline(bitw::Scenario::Pessimistic));
+    let m_trad = traditional.build_model();
+    let m_bitw = bitw::pipeline(bitw::Scenario::Pessimistic).build_model();
+    println!("traditional vs bump-in-the-wire (pessimistic scenario):");
+    println!(
+        "  total latency T_tot: {} vs {}",
+        fmt_time(Value::finite(m_trad.total_latency)),
+        fmt_time(Value::finite(m_bitw.total_latency)),
+    );
+    println!(
+        "  delay estimate d:    {} vs {}",
+        fmt_time(m_trad.heuristic_delay()),
+        fmt_time(m_bitw.heuristic_delay()),
+    );
+    println!(
+        "  backlog estimate x:  {} vs {}",
+        fmt_bytes(Value::finite(Rat::from_f64(
+            m_trad.heuristic_backlog().to_f64()
+        ))),
+        fmt_bytes(Value::finite(Rat::from_f64(
+            m_bitw.heuristic_backlog().to_f64()
+        ))),
+    );
+    let d_gain = m_trad.heuristic_delay().to_f64() / m_bitw.heuristic_delay().to_f64();
+    println!("  bump-in-the-wire cuts the delay estimate {d_gain:.2}x");
+    assert!(d_gain > 1.0);
+}
+
+/// Insert the two host-side PCIe crossings of the traditional (Figure
+/// 7) deployment: FPGA -> host memory -> NIC.
+fn with_extra_pcie_hops(mut p: Pipeline) -> Pipeline {
+    let hop = |name: &str| {
+        Node::new(
+            name,
+            NodeKind::PcieLink,
+            StageRates::fixed(gib_per_s(11.0)),
+            streamcalc::core::units::micros(5.0),
+            Rat::int(1024),
+            Rat::int(1024),
+        )
+    };
+    // After encrypt (index 1): FPGA -> host, then host -> NIC.
+    p.nodes.insert(2, hop("pcie_fpga_to_host"));
+    p.nodes.insert(3, hop("pcie_host_to_nic"));
+    p.name = "traditional FPGA deployment".into();
+    p
+}

@@ -1,0 +1,170 @@
+//! The paper's complete methodology, end to end, on *this machine*:
+//!
+//! 1. **measure** each kernel in isolation (LZ4 compress, AES-256-CBC
+//!    encrypt/decrypt, LZ4 decompress) — the paper's Table 2 step;
+//! 2. **model** the pipeline those kernels form with network calculus;
+//! 3. **simulate** the same pipeline with the discrete-event engine;
+//! 4. **validate**: the simulated run respects the modeled bounds.
+//!
+//! Unlike `bump_in_the_wire.rs` (which reproduces the paper's numbers
+//! from its published FPGA rates), everything here is measured live, so
+//! the absolute numbers depend on your CPU — the *containment* checks
+//! are what must always hold.
+//!
+//! Run with `cargo run --release --example measured_pipeline`.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use streamcalc::core::num::Rat;
+use streamcalc::core::pipeline::{Node, NodeKind, Pipeline, Source, StageRates};
+use streamcalc::core::units::{fmt_bytes, fmt_rate, fmt_time};
+use streamcalc::core::Value;
+use streamcalc::streamsim::{simulate, SimConfig};
+use streamcalc::workloads::aes::{cbc_decrypt_raw, cbc_encrypt_raw, Aes256};
+use streamcalc::workloads::measure::{measure_repeated, StageMeasurement};
+use streamcalc::workloads::lz4;
+
+const CHUNK: usize = 256 << 10;
+
+fn text_like(len: usize) -> Vec<u8> {
+    let vocab: [&[u8]; 10] = [
+        b"stream", b"data", b"node", b"queue", b"rate", b"burst", b"delay", b"curve", b"bound",
+        b"fpga",
+    ];
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut v = Vec::with_capacity(len + 8);
+    while v.len() < len {
+        v.extend_from_slice(vocab[rng.gen_range(0..vocab.len())]);
+        v.push(b' ');
+    }
+    v.truncate(len);
+    v
+}
+
+fn stage_node(name: &str, m: &StageMeasurement, job: i64) -> Node {
+    // Guard against timer jitter: clamp the triple into valid order.
+    let lo = m.min.min(m.avg);
+    let hi = m.max.max(m.avg);
+    // Integer byte rates: sub-ppb rounding keeps the exact arithmetic
+    // chains compact.
+    Node::new(
+        name,
+        NodeKind::Compute,
+        StageRates::new(
+            Rat::int(lo.floor() as i64),
+            Rat::int(m.avg.clamp(lo, hi).round() as i64),
+            Rat::int(hi.ceil() as i64),
+        ),
+        Rat::ZERO,
+        Rat::int(job),
+        Rat::int(job),
+    )
+}
+
+fn main() {
+    // ---- 1. Measure (the Table 2 step) -----------------------------
+    println!("measuring kernels in isolation ({} KiB chunks)...", CHUNK >> 10);
+    let data = text_like(CHUNK);
+    let m_compress = measure_repeated(&data, 12, 3, |c| lz4::compress(c).len());
+
+    let aes = Aes256::new(&[5u8; 32]);
+    let iv = [1u8; 16];
+    let mut buf = vec![0u8; CHUNK];
+    let m_encrypt = measure_repeated(&data, 12, 3, |c| {
+        buf.copy_from_slice(c);
+        cbc_encrypt_raw(&aes, &iv, &mut buf);
+        buf[0]
+    });
+    let mut buf2 = buf.clone();
+    let m_decrypt = measure_repeated(&buf.clone(), 12, 3, |c| {
+        buf2.copy_from_slice(c);
+        let _ = cbc_decrypt_raw(&aes, &iv, &mut buf2);
+        buf2[0]
+    });
+    let compressed = lz4::compress(&data);
+    let m_decompress = measure_repeated(&compressed, 12, 3, |c| {
+        lz4::decompress(c, CHUNK).map(|v| v.len()).unwrap_or(0)
+    });
+
+    for (name, m) in [
+        ("compress", &m_compress),
+        ("encrypt", &m_encrypt),
+        ("decrypt", &m_decrypt),
+        ("decompress", &m_decompress),
+    ] {
+        let (lo, avg, hi) = m.mib_per_s();
+        println!("  {name:<11} {lo:>8.0} / {avg:>8.0} / {hi:>8.0} MiB/s (min/avg/max)");
+    }
+
+    // ---- 2. Model ---------------------------------------------------
+    // Offered load: 60% of the measured bottleneck min rate, so the
+    // system is provably underloaded and the bounds are exact.
+    let bottleneck_min = [m_compress.min, m_encrypt.min, m_decrypt.min, m_decompress.min]
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+    let offered = 0.6 * bottleneck_min;
+    let job = CHUNK as i64;
+    let pipeline = Pipeline::new(
+        "measured-on-this-machine",
+        Source {
+            rate: Rat::int(offered.round() as i64),
+            burst: Rat::int(job),
+        },
+        vec![
+            stage_node("compress", &m_compress, job),
+            stage_node("encrypt", &m_encrypt, job),
+            stage_node("decrypt", &m_decrypt, job),
+            stage_node("decompress", &m_decompress, job),
+        ],
+    );
+    pipeline.validate().expect("measured pipeline valid");
+    let model = pipeline.build_model();
+    println!("\nnetwork-calculus model ({:?}):", model.regime());
+    println!(
+        "  bottleneck (min/avg/max): {} / {} / {}",
+        fmt_rate(Value::finite(model.bottleneck_rate_min)),
+        fmt_rate(Value::finite(model.bottleneck_rate_avg)),
+        fmt_rate(Value::finite(model.bottleneck_rate_max)),
+    );
+    let x = model.backlog_bound_concat();
+    let d = model.delay_bound_concat();
+    println!("  backlog bound x = {}", fmt_bytes(x));
+    println!("  delay bound   d = {}", fmt_time(d));
+
+    // ---- 3. Simulate -------------------------------------------------
+    let sim = simulate(
+        &pipeline,
+        &SimConfig {
+            seed: 17,
+            total_input: 256 << 20,
+            source_chunk: Some(job as u64),
+            ..SimConfig::default()
+        },
+    );
+    println!("\nsimulation (256 MiB at {:.0} MiB/s offered):", offered / 1048576.0);
+    println!("  throughput   = {:.0} MiB/s", sim.throughput / 1048576.0);
+    println!(
+        "  delay range  = [{:.3}, {:.3}] ms",
+        sim.delay_min * 1e3,
+        sim.delay_max * 1e3
+    );
+    println!("  peak backlog = {}", fmt_bytes(Value::finite(Rat::from_f64(sim.peak_backlog))));
+    for n in &sim.per_node {
+        println!("    {:<11} utilization {:.2}", n.name, n.utilization);
+    }
+
+    // ---- 4. Validate --------------------------------------------------
+    assert!(
+        sim.delay_max <= d.to_f64(),
+        "sim delay {} exceeds bound {}",
+        sim.delay_max,
+        d.to_f64()
+    );
+    assert!(
+        sim.peak_backlog <= x.to_f64(),
+        "sim backlog {} exceeds bound {}",
+        sim.peak_backlog,
+        x.to_f64()
+    );
+    println!("\nmeasure -> model -> simulate -> bounds hold: OK");
+}

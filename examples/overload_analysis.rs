@@ -1,0 +1,96 @@
+//! Overload analysis: the paper's §3 question — what happens when
+//! `R_α > R_β`? The exact bounds diverge (as queueing theory's do at
+//! ρ ≥ 1), and the paper hypothesizes the closed-form values remain
+//! useful as queue-sizing estimates. This example sweeps the offered
+//! load across the three regimes and checks the hypothesis against the
+//! simulator.
+//!
+//! Run with `cargo run --release --example overload_analysis`.
+
+use streamcalc::core::bounds::Regime;
+use streamcalc::core::num::Rat;
+use streamcalc::core::pipeline::{Node, NodeKind, Pipeline, Source, StageRates};
+use streamcalc::core::units::mib_per_s;
+use streamcalc::streamsim::{simulate, SimConfig};
+
+fn pipeline(offered_mib_s: f64) -> Pipeline {
+    Pipeline::new(
+        "overload sweep",
+        Source {
+            rate: mib_per_s(offered_mib_s),
+            burst: Rat::int(64 << 10),
+        },
+        vec![Node::new(
+            "kernel",
+            NodeKind::Compute,
+            StageRates::new(mib_per_s(95.0), mib_per_s(100.0), mib_per_s(105.0)),
+            Rat::new(1, 1000),
+            Rat::int(64 << 10),
+            Rat::int(64 << 10),
+        )],
+    )
+}
+
+fn main() {
+    const MIB: f64 = 1048576.0;
+    println!(
+        "{:>9} {:>13} {:>14} {:>14} {:>12} {:>12} {:>14}",
+        "offered", "regime", "exact x", "heuristic x", "sim thr", "sim peak x", "sim delay max"
+    );
+    for offered in [60.0, 80.0, 94.9, 95.0, 100.0, 120.0, 150.0] {
+        let p = pipeline(offered);
+        let m = p.build_model();
+        let exact_x = m.backlog_bound();
+        let heur_x = m.heuristic_backlog().to_f64() / MIB;
+        let sim = simulate(
+            &p,
+            &SimConfig {
+                seed: 5,
+                total_input: 64 << 20,
+                source_chunk: Some(64 << 10),
+                queue_capacity: None,
+                queue_capacities: None,
+                service_model: streamcalc::streamsim::ServiceModel::Uniform,
+                trace: false,
+            },
+        );
+        println!(
+            "{:>7.1}MB {:>13} {:>14} {:>11.3}MiB {:>9.1}MiB {:>9.3}MiB {:>11.2}ms",
+            offered,
+            format!("{:?}", m.regime()),
+            match exact_x {
+                streamcalc::core::Value::Finite(x) => format!("{:.3} MiB", x.to_f64() / MIB),
+                _ => "inf".to_string(),
+            },
+            heur_x,
+            sim.throughput / MIB,
+            sim.peak_backlog / MIB,
+            sim.delay_max * 1e3,
+        );
+
+        // Invariants per regime.
+        match m.regime() {
+            Regime::Underloaded => {
+                assert!(exact_x.is_finite());
+                // The hard bound contains the simulation.
+                assert!(sim.peak_backlog <= m.backlog_bound_concat().to_f64() * (1.0 + 1e-9));
+            }
+            Regime::Critical => {
+                // At R_α = R_β exactly, the deviation is still finite
+                // (b + R·T) — the knife edge before divergence.
+                assert!(exact_x.is_finite());
+            }
+            Regime::Overloaded => {
+                assert!(exact_x.is_infinite(), "bounds must diverge at overload");
+                // Throughput is still capped by the service rate.
+                assert!(sim.throughput <= mib_per_s(105.0).to_f64() * 1.02);
+            }
+        }
+    }
+
+    println!(
+        "\nAs the paper notes: exact bounds go infinite at R_a > R_b (like queueing\n\
+         theory at rho >= 1), while the closed-form heuristic stays finite and tracks\n\
+         the *early-horizon* queue growth — usable for sizing, not a guarantee."
+    );
+}

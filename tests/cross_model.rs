@@ -1,0 +1,138 @@
+//! Cross-model integration tests: network calculus, queueing theory,
+//! and the discrete-event simulator must agree wherever their
+//! assumptions overlap — each model checks the others.
+
+use streamcalc::core::num::Rat;
+use streamcalc::core::pipeline::{Node, NodeKind, Pipeline, Source, StageRates};
+use streamcalc::core::Regime;
+use streamcalc::queueing::{analyze_tandem, Mg1, Mm1, TandemStage};
+use streamcalc::streamsim::{simulate, SimConfig};
+
+fn single_stage(rate_min: i64, rate_max: i64, source: i64, job: i64) -> Pipeline {
+    Pipeline::new(
+        "cross",
+        Source {
+            rate: Rat::int(source),
+            burst: Rat::int(job),
+        },
+        vec![Node::new(
+            "stage",
+            NodeKind::Compute,
+            StageRates::new(
+                Rat::int(rate_min),
+                Rat::int((rate_min + rate_max) / 2),
+                Rat::int(rate_max),
+            ),
+            Rat::ZERO,
+            Rat::int(job),
+            Rat::int(job),
+        )],
+    )
+}
+
+#[test]
+fn all_three_models_agree_on_the_bottleneck() {
+    // Underloaded: throughput = offered rate in every model.
+    let p = single_stage(900, 1100, 500, 1000);
+    let m = p.build_model();
+    assert_eq!(m.regime(), Regime::Underloaded);
+
+    let tandem = analyze_tandem(
+        500.0,
+        &[TandemStage {
+            name: "stage".into(),
+            rate: 1000.0,
+        }],
+        1000.0,
+    )
+    .unwrap();
+    assert_eq!(tandem.roofline, 500.0);
+
+    let sim = simulate(
+        &p,
+        &SimConfig {
+            seed: 3,
+            total_input: 1_000_000,
+            source_chunk: Some(1000),
+            queue_capacity: None,
+            queue_capacities: None,
+            service_model: nc_streamsim::ServiceModel::Uniform,
+            trace: false,
+        },
+    );
+    assert!((sim.throughput - 500.0).abs() / 500.0 < 0.05, "{}", sim.throughput);
+    // NC throughput bracket contains both.
+    let tb = m.throughput_over(Rat::int(100));
+    assert!(tb.lower.to_f64() <= sim.throughput * 1.02);
+    assert!(tb.upper.to_f64() >= sim.throughput * 0.98);
+}
+
+#[test]
+fn mm1_and_mg1_bracket_uniform_service_sim() {
+    // A single stage with uniform service, Poisson-ish offered load is
+    // approximated by deterministic arrivals in our sim; the M/G/1
+    // P-K mean number in system for uniform service must be *below*
+    // M/M/1's (less service variability). Cross-check the formulas.
+    let lambda = 0.8;
+    let (lo, hi) = (0.8, 1.2); // mean service 1.0
+    let mm1 = Mm1::new(lambda, 1.0).unwrap();
+    let mu1 = Mg1::uniform(lambda, lo, hi).unwrap();
+    let md1 = Mg1::deterministic(lambda, 1.0).unwrap();
+    assert!(md1.l < mu1.l && mu1.l < mm1.l);
+    // All obey Little's law.
+    for (l, w) in [(mm1.l, mm1.w), (mu1.l, mu1.w), (md1.l, md1.w)] {
+        assert!((l - lambda * w).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn nc_overload_matches_queueing_instability() {
+    // R_α > R_β in NC ⟺ ρ > 1 in queueing: both diverge.
+    let p = single_stage(900, 1100, 1500, 1000);
+    let m = p.build_model();
+    assert_eq!(m.regime(), Regime::Overloaded);
+    assert!(m.backlog_bound().is_infinite());
+    assert!(Mm1::new(1500.0 / 1000.0, 1.0).is_err());
+}
+
+#[test]
+fn queueing_roofline_equals_nc_avg_bottleneck() {
+    // On the BLAST model, the [12] roofline equals the min normalized
+    // average rate that nc-core computes.
+    let m = streamcalc::apps::blast::isolated_pipeline().build_model();
+    let stages: Vec<TandemStage> = m
+        .per_node
+        .iter()
+        .map(|n| TandemStage {
+            name: n.name.clone(),
+            rate: n.rate_avg.to_f64(),
+        })
+        .collect();
+    let t = analyze_tandem(1e15, &stages, 1048576.0).unwrap();
+    assert!((t.roofline - m.bottleneck_rate_avg.to_f64()).abs() < 1.0);
+    assert_eq!(t.bottleneck, "seed_match");
+}
+
+#[test]
+fn des_validates_nc_delay_on_deterministic_stage() {
+    // Deterministic service: NC delay bound should be nearly tight.
+    let p = single_stage(1000, 1000, 900, 1000);
+    let m = p.build_model();
+    let sim = simulate(
+        &p,
+        &SimConfig {
+            seed: 1,
+            total_input: 500_000,
+            source_chunk: Some(1000),
+            queue_capacity: None,
+            queue_capacities: None,
+            service_model: nc_streamsim::ServiceModel::Uniform,
+            trace: false,
+        },
+    );
+    let bound = m.delay_bound_concat().to_f64();
+    assert!(sim.delay_max <= bound * (1.0 + 1e-9));
+    // Tightness: the bound is within 3x of the observed worst case
+    // (it covers the full burst; the sim feeds steadily).
+    assert!(bound <= sim.delay_max * 3.0, "bound {bound} vs sim {}", sim.delay_max);
+}

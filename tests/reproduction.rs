@@ -1,0 +1,135 @@
+//! Workspace-level integration tests: the full paper reproduction,
+//! checked end to end across every crate. These are the acceptance
+//! tests for EXPERIMENTS.md — if they pass, the tables and figures
+//! regenerate within the documented tolerances.
+
+use streamcalc::apps::{bitw, blast, paper};
+
+
+#[test]
+fn table1_blast_throughputs() {
+    let r = blast::reproduce(42);
+    let find = |needle: &str| {
+        r.table1
+            .iter()
+            .find(|row| row.source.contains(needle))
+            .unwrap_or_else(|| panic!("missing row {needle}"))
+    };
+    // NC bounds and the queueing roofline are analytic: exact match.
+    assert!((find("upper").ours_mib_s - paper::table1::NC_UPPER).abs() < 0.5);
+    assert!((find("lower").ours_mib_s - paper::table1::NC_LOWER).abs() < 0.5);
+    assert!((find("Queueing").ours_mib_s - paper::table1::QUEUEING).abs() < 1.0);
+    // The simulation is stochastic: 3% tolerance.
+    let des = find("simulation").ours_mib_s;
+    assert!((des - paper::table1::DES).abs() / paper::table1::DES < 0.03);
+    // Ordering, as in the paper: lower ≤ DES ≈ measured < queueing < upper.
+    assert!(paper::table1::NC_LOWER <= des + 3.0);
+    assert!(des < find("Queueing").ours_mib_s);
+    assert!(find("Queueing").ours_mib_s < find("upper").ours_mib_s);
+}
+
+#[test]
+fn blast_bounds_corroborated() {
+    let r = blast::reproduce(42);
+    let b = &r.bounds;
+    // Our model vs the paper's model: within 10%.
+    assert!((b.delay_bound_s - b.paper_delay_bound_s).abs() / b.paper_delay_bound_s < 0.10);
+    assert!(
+        (b.backlog_bound_bytes - b.paper_backlog_bound_bytes).abs()
+            / b.paper_backlog_bound_bytes
+            < 0.10
+    );
+    // The §4.2 corroboration: simulation inside the modeled bounds.
+    assert!(b.sim_within_bounds());
+}
+
+#[test]
+fn figure4_shape() {
+    let r = blast::reproduce(42);
+    let fig = blast::figure4(&r, 80);
+    // The stairstep lies between β and α* (the paper's visual claim).
+    assert!(fig.sim_between_bounds(1024.0));
+    // α dominates the stairstep.
+    for &(t, v) in &fig.sim {
+        let a = nc_apps::report::interp(&fig.alpha, t);
+        assert!(v <= a + 1024.0, "sim above alpha at t={t}");
+    }
+    // All series are nonempty and monotone.
+    for series in [&fig.alpha, &fig.beta, &fig.alpha_star, &fig.sim] {
+        assert!(series.len() > 10);
+        for w in series.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn table3_bitw_throughputs() {
+    let r = bitw::reproduce(42);
+    let find = |needle: &str| {
+        r.table3
+            .iter()
+            .find(|row| row.source.contains(needle))
+            .unwrap()
+    };
+    // Lower bound & queueing: analytic, within rounding of the paper.
+    assert!((find("lower bound").ours_mib_s - 56.0).abs() < 0.5);
+    assert!((find("Queueing").ours_mib_s - paper::table3::QUEUEING).abs() < 2.0);
+    // DES within 10% of the paper's.
+    let des = find("simulation").ours_mib_s;
+    assert!((des - paper::table3::DES).abs() / paper::table3::DES < 0.10);
+    // The paper's qualitative story: sim just above the lower bound,
+    // queueing optimistic by ~2.5x, upper bound several times lower.
+    assert!(des > find("lower bound").ours_mib_s);
+    assert!(find("Queueing").ours_mib_s > 2.0 * des);
+    assert!(find("upper").ours_mib_s > find("Queueing").ours_mib_s);
+}
+
+#[test]
+fn bitw_bounds_corroborated() {
+    let r = bitw::reproduce(42);
+    let b = &r.bounds;
+    assert!((b.delay_bound_s - b.paper_delay_bound_s).abs() / b.paper_delay_bound_s < 0.05);
+    assert!(
+        (b.backlog_bound_bytes - b.paper_backlog_bound_bytes).abs()
+            / b.paper_backlog_bound_bytes
+            < 0.05
+    );
+    assert!(b.sim_within_bounds());
+    // The paper's observed-delay band is reproduced within ~20%.
+    assert!((b.sim_delay_min_s - b.paper_sim_delay_s.0).abs() / b.paper_sim_delay_s.0 < 0.2);
+    assert!((b.sim_delay_max_s - b.paper_sim_delay_s.1).abs() / b.paper_sim_delay_s.1 < 0.2);
+}
+
+#[test]
+fn figure10_shape() {
+    let r = bitw::reproduce(42);
+    let fig = bitw::figure10(&r, 80);
+    assert!(fig.sim_between_bounds(1024.0));
+}
+
+#[test]
+fn reproduction_is_deterministic() {
+    let a = bitw::reproduce(7);
+    let b = bitw::reproduce(7);
+    assert_eq!(a.sim.throughput, b.sim.throughput);
+    assert_eq!(a.sim.delay_max, b.sim.delay_max);
+    let c = bitw::reproduce(8);
+    assert_ne!(a.sim.delay_max, c.sim.delay_max);
+}
+
+#[test]
+fn seeds_do_not_change_conclusions() {
+    // The qualitative results are seed-independent.
+    for seed in [1u64, 99, 12345] {
+        let r = bitw::reproduce(seed);
+        let des = r
+            .table3
+            .iter()
+            .find(|row| row.source.contains("simulation"))
+            .unwrap()
+            .ours_mib_s;
+        assert!((55.0..70.0).contains(&des), "seed {seed}: DES {des}");
+        assert!(r.bounds.sim_within_bounds(), "seed {seed}");
+    }
+}

@@ -1,0 +1,82 @@
+//! The JSON spec surface: the shipped example spec parses, models, and
+//! simulates; Pipeline serde round-trips; exact `[num, den]` rationals
+//! are honoured.
+
+use streamcalc::core::num::{rat, Rat};
+use streamcalc::core::pipeline::Pipeline;
+use streamcalc::core::Regime;
+use streamcalc::streamsim::{simulate, SimConfig};
+
+#[test]
+fn shipped_example_spec_parses_and_models() {
+    let raw = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/specs/example_pipeline.json"
+    ))
+    .expect("example spec present");
+    let p: Pipeline = serde_json::from_str(&raw).expect("spec parses");
+    p.validate().expect("spec valid");
+    assert_eq!(p.nodes.len(), 4);
+    let m = p.build_model();
+    assert_eq!(m.regime(), Regime::Underloaded);
+    assert!(m.backlog_bound().is_finite());
+    // And it simulates.
+    let r = simulate(
+        &p,
+        &SimConfig {
+            total_input: 16 << 20,
+            ..SimConfig::default()
+        },
+    );
+    assert!(r.throughput > 0.0);
+}
+
+#[test]
+fn pipeline_serde_roundtrip() {
+    let p = streamcalc::apps::bitw::pipeline(streamcalc::apps::bitw::Scenario::Average);
+    let json = serde_json::to_string(&p).expect("serialize");
+    let back: Pipeline = serde_json::from_str(&json).expect("deserialize");
+    back.validate().expect("roundtrip valid");
+    assert_eq!(back.nodes.len(), p.nodes.len());
+    // Float-serialized rates survive within continued-fraction accuracy.
+    for (a, b) in p.nodes.iter().zip(&back.nodes) {
+        assert_eq!(a.name, b.name);
+        let (x, y) = (a.rates.avg.to_f64(), b.rates.avg.to_f64());
+        assert!((x - y).abs() <= 1e-6 * x.abs().max(1.0), "{x} vs {y}");
+    }
+    // Normalization (exact in the original) is preserved closely enough
+    // for identical regime/bottleneck classification.
+    let (m1, m2) = (p.build_model(), back.build_model());
+    let (r1, r2) = (
+        m1.bottleneck_rate_avg.to_f64(),
+        m2.bottleneck_rate_avg.to_f64(),
+    );
+    assert!((r1 - r2).abs() <= 1e-5 * r1);
+}
+
+#[test]
+fn exact_rationals_in_json() {
+    let r: Rat = serde_json::from_str("[1, 3]").unwrap();
+    assert_eq!(r, rat(1, 3));
+    let r: Rat = serde_json::from_str("0.25").unwrap();
+    assert_eq!(r, rat(1, 4));
+    let r: Rat = serde_json::from_str("1048576").unwrap();
+    assert_eq!(r, Rat::int(1 << 20));
+    assert!(serde_json::from_str::<Rat>("[1, 0]").is_err());
+    assert!(serde_json::from_str::<Rat>("\"x\"").is_err());
+}
+
+#[test]
+fn malformed_specs_rejected() {
+    assert!(serde_json::from_str::<Pipeline>("{}").is_err());
+    let missing_nodes = r#"{"name":"x","source":{"rate":1,"burst":0},"nodes":[]}"#;
+    let p: Pipeline = serde_json::from_str(missing_nodes).unwrap();
+    assert!(p.validate().is_err());
+    let bad_rates = r#"{
+        "name":"x","source":{"rate":100,"burst":0},
+        "nodes":[{"name":"n","kind":"Compute",
+                  "rates":{"min":200,"avg":150,"max":300},
+                  "latency":0,"job_in":10,"job_out":10}]}"#;
+    let p: Pipeline = serde_json::from_str(bad_rates).unwrap();
+    assert!(p.validate().is_err(), "min > avg must fail validation");
+}
