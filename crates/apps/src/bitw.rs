@@ -334,7 +334,9 @@ pub fn measure_table2(chunk_bytes: usize, reps: usize) -> (Vec<Table2Row>, f64) 
     // Decompression throughput is reported against the *produced*
     // (raw) volume, matching how the Vitis kernel numbers are quoted.
     let m_dec_raw = measure_repeated(&compressed, reps, 1, |c| {
-        lz4::decompress(c, chunk_bytes).map(|v| v.len()).unwrap_or(0)
+        lz4::decompress(c, chunk_bytes)
+            .map(|v| v.len())
+            .unwrap_or(0)
     });
     let scale = ratio;
     let m_decompress = StageMeasurement {
@@ -483,7 +485,11 @@ mod tests {
             if let Some(e) = row.rel_error() {
                 // The γ-convention upper bound is allowed its documented
                 // +27% (paper applies the max ratio to the lower bound).
-                let tol = if row.source.contains("upper") { 0.30 } else { 0.20 };
+                let tol = if row.source.contains("upper") {
+                    0.30
+                } else {
+                    0.20
+                };
                 assert!(
                     e.abs() < tol,
                     "{}: {:+.1}% (ours {} vs paper {:?})",

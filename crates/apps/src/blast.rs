@@ -318,12 +318,7 @@ pub(crate) fn curve_figure(
     };
     // Decimate the sim trace to a plottable size.
     let stride = (sim.trace_out.len() / (samples * 4)).max(1);
-    let sim_pts: Vec<(f64, f64)> = sim
-        .trace_out
-        .iter()
-        .step_by(stride)
-        .copied()
-        .collect();
+    let sim_pts: Vec<(f64, f64)> = sim.trace_out.iter().step_by(stride).copied().collect();
     FigureSeries {
         name: name.into(),
         alpha: sample(&model.arrival),

@@ -19,8 +19,7 @@ pub struct ThroughputRow {
 impl ThroughputRow {
     /// Relative error vs the paper (`None` without a paper value).
     pub fn rel_error(&self) -> Option<f64> {
-        self.paper_mib_s
-            .map(|p| (self.ours_mib_s - p) / p)
+        self.paper_mib_s.map(|p| (self.ours_mib_s - p) / p)
     }
 }
 
@@ -51,7 +50,8 @@ impl BoundsReport {
     /// The paper's corroboration claim: simulated delay and backlog
     /// stay within the modeled bounds.
     pub fn sim_within_bounds(&self) -> bool {
-        self.sim_delay_max_s <= self.delay_bound_s && self.sim_backlog_bytes <= self.backlog_bound_bytes
+        self.sim_delay_max_s <= self.delay_bound_s
+            && self.sim_backlog_bytes <= self.backlog_bound_bytes
     }
 }
 

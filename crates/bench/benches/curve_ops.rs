@@ -8,7 +8,10 @@ use std::hint::black_box;
 
 use nc_core::curve::{shapes, Curve};
 use nc_core::num::Rat;
-use nc_core::ops::{min_plus_conv, min_plus_deconv, subadditive_closure};
+use nc_core::ops::{
+    min_plus_conv, min_plus_conv_general, min_plus_deconv, min_plus_deconv_general,
+    subadditive_closure,
+};
 use nc_core::{bounds, packetizer};
 
 fn lb(r: i64, b: i64) -> Curve {
@@ -123,6 +126,63 @@ fn bench_exact_vs_sampled(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tracked perf baseline's headline ablation: every dispatcher fast
+/// path benched side by side with the reference strategy-envelope
+/// algorithm on identical operands (the property tests pin the two to
+/// exact curve equality).
+fn bench_fast_vs_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fast_vs_reference");
+
+    // Convex ⊗ convex: O(n+m) slope merge vs full Minkowski envelope.
+    let cx = rl(1, 0).max(&rl(4, 3)).max(&rl(9, 6));
+    let cy = rl(2, 1).max(&rl(6, 5)).max(&rl(12, 9));
+    g.bench_function("conv_convex_fast", |b| {
+        b.iter(|| black_box(min_plus_conv(&cx, &cy)))
+    });
+    g.bench_function("conv_convex_reference", |b| {
+        b.iter(|| black_box(min_plus_conv_general(&cx, &cy)))
+    });
+
+    // Concave ⊗ concave: offset-aware min vs the envelope.
+    let kx = lb(2, 5).min(&lb(1, 9));
+    let ky = lb(3, 4).min(&lb(1, 12));
+    g.bench_function("conv_concave_fast", |b| {
+        b.iter(|| black_box(min_plus_conv(&kx, &ky)))
+    });
+    g.bench_function("conv_concave_reference", |b| {
+        b.iter(|| black_box(min_plus_conv_general(&kx, &ky)))
+    });
+
+    // Mixed-shape operands: same general algorithm, but the fast entry
+    // point prunes dominated/collapsed strategies.
+    let (sx, sy) = (stair(16), stair(16));
+    g.bench_function("conv_stair16_pruned", |b| {
+        b.iter(|| black_box(min_plus_conv(&sx, &sy)))
+    });
+    g.bench_function("conv_stair16_reference", |b| {
+        b.iter(|| black_box(min_plus_conv_general(&sx, &sy)))
+    });
+
+    // Deconvolution: concave ⊘ rate-latency closed form vs envelope.
+    let dx = lb(2, 5).min(&lb(1, 9));
+    let dy = rl(3, 4);
+    g.bench_function("deconv_concave_rl_fast", |b| {
+        b.iter(|| black_box(min_plus_deconv(&dx, &dy)))
+    });
+    g.bench_function("deconv_concave_rl_reference", |b| {
+        b.iter(|| black_box(min_plus_deconv_general(&dx, &dy)))
+    });
+
+    // Sub-additive closure of a concave arrival curve: fixpoint
+    // recognized up front vs one (fast) verification convolution.
+    let ka = lb(2, 5).min(&lb(1, 9));
+    g.bench_function("closure_concave_fast", |b| {
+        b.iter(|| black_box(subadditive_closure(&ka, 8)))
+    });
+
+    g.finish();
+}
+
 fn bench_closure(c: &mut Criterion) {
     c.bench_function("subadditive_closure_rl_8iters", |b| {
         let f = rl(3, 2);
@@ -133,6 +193,6 @@ fn bench_closure(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_conv, bench_deconv, bench_bounds, bench_pipeline_scale, bench_exact_vs_sampled, bench_closure
+    targets = bench_conv, bench_deconv, bench_bounds, bench_pipeline_scale, bench_exact_vs_sampled, bench_fast_vs_reference, bench_closure
 }
 criterion_main!(benches);

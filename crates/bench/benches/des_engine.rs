@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use nc_des::{ByteQueue, Dist, Sim, Span, Time};
+use nc_des::{ByteQueue, Dist, Sim, SimPool, Span, Time};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -44,6 +44,41 @@ fn bench_self_scheduling(c: &mut Criterion) {
             black_box(sim.state)
         })
     });
+}
+
+/// Fresh calendar per replication vs pooled storage: the Monte-Carlo
+/// reuse path benched against the one-shot path on an identical burst
+/// of 100k pre-scheduled events.
+fn bench_calendar_pool(c: &mut Criterion) {
+    const N: usize = 100_000;
+    fn tick(sim: &mut Sim<u64>) {
+        sim.state += 1;
+    }
+    let mut g = c.benchmark_group("calendar");
+    g.bench_function("burst_100k_fresh", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0u64);
+            for i in 0..N {
+                sim.schedule_at(Time::secs(i as f64 * 1e-6), tick);
+            }
+            sim.run();
+            black_box(sim.state)
+        })
+    });
+    g.bench_function("burst_100k_pooled", |b| {
+        let mut pool: SimPool<u64> = SimPool::new();
+        b.iter(|| {
+            let mut sim = pool.take(0u64);
+            for i in 0..N {
+                sim.schedule_at(Time::secs(i as f64 * 1e-6), tick);
+            }
+            sim.run();
+            let out = sim.state;
+            pool.put(sim);
+            black_box(out)
+        })
+    });
+    g.finish();
 }
 
 fn bench_queue_ops(c: &mut Criterion) {
@@ -122,6 +157,6 @@ fn bench_mm1(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15);
-    targets = bench_event_throughput, bench_self_scheduling, bench_queue_ops, bench_distributions, bench_mm1
+    targets = bench_event_throughput, bench_self_scheduling, bench_calendar_pool, bench_queue_ops, bench_distributions, bench_mm1
 }
 criterion_main!(benches);

@@ -37,11 +37,9 @@ fn bench_lz4(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("compress", size), &data, |b, d| {
             b.iter(|| black_box(lz4::compress(d)))
         });
-        g.bench_with_input(
-            BenchmarkId::new("decompress", size),
-            &compressed,
-            |b, d| b.iter(|| black_box(lz4::decompress(d, size).unwrap())),
-        );
+        g.bench_with_input(BenchmarkId::new("decompress", size), &compressed, |b, d| {
+            b.iter(|| black_box(lz4::decompress(d, size).unwrap()))
+        });
     }
     g.finish();
 }

@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use nc_apps::{bitw, blast};
 use nc_core::num::Rat;
-use nc_streamsim::simulate;
+use nc_streamsim::{simulate, simulate_in, SimArena};
 
 fn bench_model_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("model_build");
@@ -54,6 +54,24 @@ fn bench_simulations(c: &mut Criterion) {
         let mut cfg = blast::sim_config(1);
         cfg.total_input = 64 << 20;
         b.iter(|| black_box(simulate(&p, &cfg)))
+    });
+    g.finish();
+}
+
+/// Fresh-storage vs arena-pooled replication on the 64 MiB BLAST run —
+/// the Monte-Carlo inner loop benched both ways.
+fn bench_arena_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_arena");
+    g.sample_size(10);
+    let p = blast::deployed_pipeline();
+    let mut cfg = blast::sim_config(1);
+    cfg.total_input = 64 << 20;
+    g.bench_function("blast_64MiB_fresh", |b| {
+        b.iter(|| black_box(simulate(&p, &cfg)))
+    });
+    g.bench_function("blast_64MiB_pooled", |b| {
+        let mut arena = SimArena::new();
+        b.iter(|| black_box(simulate_in(&mut arena, &p, &cfg)))
     });
     g.finish();
 }
@@ -115,6 +133,6 @@ fn bench_chunk_sweep(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_model_build, bench_bounds_extraction, bench_simulations, bench_backpressure_ablation, bench_chunk_sweep
+    targets = bench_model_build, bench_bounds_extraction, bench_simulations, bench_arena_ablation, bench_backpressure_ablation, bench_chunk_sweep
 }
 criterion_main!(benches);

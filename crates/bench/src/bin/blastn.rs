@@ -108,7 +108,7 @@ fn main() -> ExitCode {
                         &[h.alignment],
                         &GappedParams::default(),
                     )[0]
-                        .score
+                    .score
                 } else {
                     h.alignment.score
                 };

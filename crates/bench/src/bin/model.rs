@@ -43,10 +43,7 @@ fn main() -> ExitCode {
                 i += 2;
             }
             "--seed" => {
-                seed = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(seed);
+                seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(seed);
                 i += 2;
             }
             other => {
@@ -76,7 +73,11 @@ fn main() -> ExitCode {
     }
 
     let model = pipeline.build_model();
-    println!("pipeline '{}' ({} stages)", pipeline.name, pipeline.nodes.len());
+    println!(
+        "pipeline '{}' ({} stages)",
+        pipeline.name,
+        pipeline.nodes.len()
+    );
     println!("regime: {:?}", model.regime());
     println!(
         "normalized bottleneck (min/avg/max): {} / {} / {}",
@@ -150,7 +151,10 @@ fn main() -> ExitCode {
             r.delay_min * 1e3,
             r.delay_max * 1e3
         );
-        println!("  peak backlog = {}", fmt_bytes(Value::finite(Rat::from_f64(r.peak_backlog))));
+        println!(
+            "  peak backlog = {}",
+            fmt_bytes(Value::finite(Rat::from_f64(r.peak_backlog)))
+        );
         println!("  events       = {}", r.events);
     }
     ExitCode::SUCCESS

@@ -8,7 +8,7 @@
 //! Artifacts: `results/montecarlo.txt` and `results/montecarlo.json`.
 
 use nc_apps::{bitw, blast};
-use nc_streamsim::{simulate, ServiceModel, SimResult};
+use nc_streamsim::{simulate_in, ServiceModel, SimArena, SimResult};
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -56,12 +56,14 @@ fn main() {
     let mut all: Vec<Summary> = Vec::new();
 
     // --- BLAST (shorter runs than the headline config for 32x). ---
+    // Each worker thread keeps one SimArena, so replications after the
+    // first reuse the grown event calendar instead of reallocating.
     let blast_runs: Vec<SimResult> = (0..SEEDS)
         .into_par_iter()
-        .map(|seed| {
+        .map_init(SimArena::new, |arena, seed| {
             let mut cfg = blast::sim_config(seed);
             cfg.total_input = 256 << 20;
-            simulate(&blast::deployed_pipeline(), &cfg)
+            simulate_in(arena, &blast::deployed_pipeline(), &cfg)
         })
         .collect();
     let thr: Vec<f64> = blast_runs.iter().map(|r| r.throughput / MIB).collect();
@@ -83,10 +85,14 @@ fn main() {
     // --- Bump in the wire. ---
     let bitw_runs: Vec<(SimResult, SimResult)> = (0..SEEDS)
         .into_par_iter()
-        .map(|seed| {
+        .map_init(SimArena::new, |arena, seed| {
             (
-                simulate(&bitw::sim_pipeline(), &bitw::sim_config(seed)),
-                simulate(&bitw::light_pipeline(), &bitw::sim_config(seed ^ 0xABCD)),
+                simulate_in(arena, &bitw::sim_pipeline(), &bitw::sim_config(seed)),
+                simulate_in(
+                    arena,
+                    &bitw::light_pipeline(),
+                    &bitw::sim_config(seed ^ 0xABCD),
+                ),
             )
         })
         .collect();
@@ -110,10 +116,10 @@ fn main() {
     ] {
         let runs: Vec<SimResult> = (0..8u64)
             .into_par_iter()
-            .map(|seed| {
+            .map_init(SimArena::new, |arena, seed| {
                 let mut cfg = bitw::sim_config(seed);
                 cfg.service_model = model;
-                simulate(&bitw::light_pipeline(), &cfg)
+                simulate_in(arena, &bitw::light_pipeline(), &cfg)
             })
             .collect();
         let dm: Vec<f64> = runs.iter().map(|r| r.delay_max * 1e6).collect();

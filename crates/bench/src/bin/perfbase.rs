@@ -1,0 +1,293 @@
+//! The tracked performance baseline.
+//!
+//! Times the paper-reproduction binaries end to end (`table1`,
+//! `table3`, `fig4`, `fig10`) and the min-plus kernel fast paths
+//! against their reference implementations, then writes the whole
+//! snapshot to `BENCH_1.json` at the workspace root so perf regressions
+//! show up in review diffs.
+//!
+//! Run with `cargo run --release -p nc-bench --bin perfbase`.
+
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+use nc_apps::{bitw, blast};
+use nc_core::curve::{shapes, Curve};
+use nc_core::num::{rat, Rat};
+use nc_core::ops::{
+    min_plus_conv, min_plus_conv_general, min_plus_deconv, min_plus_deconv_general,
+};
+use nc_streamsim::{simulate, simulate_in, SimArena};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BinTime {
+    bin: String,
+    /// Best-of-2 wall time of one full run, seconds.
+    wall_s: f64,
+}
+
+#[derive(Serialize)]
+struct Ablation {
+    what: String,
+    fast_s: f64,
+    reference_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SimTime {
+    what: String,
+    events: u64,
+    per_run_s: f64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    schema: &'static str,
+    command: &'static str,
+    bins: Vec<BinTime>,
+    sims: Vec<SimTime>,
+    ablations: Vec<Ablation>,
+}
+
+fn lb(r: i64, b: i64) -> Curve {
+    shapes::leaky_bucket(Rat::int(r), Rat::int(b))
+}
+fn rl(r: i64, t: i64) -> Curve {
+    shapes::rate_latency(Rat::int(r), Rat::int(t))
+}
+
+/// Mean seconds per iteration of `f` (after a 10% warmup).
+fn per_iter(iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_secs_f64() / iters as f64
+}
+
+fn ablation(
+    what: &str,
+    iters: u32,
+    mut fast: impl FnMut(),
+    mut reference: impl FnMut(),
+) -> Ablation {
+    let fast_s = per_iter(iters, &mut fast);
+    let reference_s = per_iter(iters, &mut reference);
+    let a = Ablation {
+        what: what.into(),
+        fast_s,
+        reference_s,
+        speedup: reference_s / fast_s.max(f64::MIN_POSITIVE),
+    };
+    println!(
+        "  {:<36} fast {:>12.3e}s  reference {:>12.3e}s  speedup {:>6.2}x",
+        a.what, a.fast_s, a.reference_s, a.speedup
+    );
+    a
+}
+
+/// Best-of-2 wall time of one run of a sibling repro binary.
+fn run_bin(name: &str) -> BinTime {
+    let exe = std::env::current_exe().expect("current exe");
+    let path = exe.parent().expect("bin dir").join(name);
+    assert!(
+        path.exists(),
+        "{} not built — run `cargo build --release -p nc-bench --bins` first",
+        path.display()
+    );
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let t = Instant::now();
+        let status = Command::new(&path)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        assert!(status.success(), "{name} exited with {status}");
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!("  {name:<36} {best:>10.3}s");
+    BinTime {
+        bin: name.into(),
+        wall_s: best,
+    }
+}
+
+fn main() {
+    // Make sure the sibling repro binaries exist (cheap when cached).
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let status = Command::new(cargo)
+        .args(["build", "--release", "-p", "nc-bench", "--bins"])
+        .status()
+        .expect("spawn cargo build");
+    assert!(status.success(), "building repro binaries failed");
+
+    println!("perf baseline: repro binaries (best of 2)");
+    let bins = ["table1", "table3", "fig4", "fig10"]
+        .iter()
+        .map(|b| run_bin(b))
+        .collect();
+
+    println!("perf baseline: kernel fast paths vs reference");
+    let mut ablations = Vec::new();
+
+    // Convex ⊗ convex: slope merge vs strategy envelope.
+    let cx = rl(1, 0).max(&rl(4, 3)).max(&rl(9, 6));
+    let cy = rl(2, 1).max(&rl(6, 5)).max(&rl(12, 9));
+    ablations.push(ablation(
+        "conv convex x convex",
+        20_000,
+        || {
+            std::hint::black_box(min_plus_conv(&cx, &cy));
+        },
+        || {
+            std::hint::black_box(min_plus_conv_general(&cx, &cy));
+        },
+    ));
+
+    // Concave ⊗ concave: offset-aware min vs strategy envelope.
+    let kx = lb(2, 5).min(&lb(1, 9));
+    let ky = lb(3, 4).min(&lb(1, 12));
+    ablations.push(ablation(
+        "conv concave x concave",
+        20_000,
+        || {
+            std::hint::black_box(min_plus_conv(&kx, &ky));
+        },
+        || {
+            std::hint::black_box(min_plus_conv_general(&kx, &ky));
+        },
+    ));
+
+    // Mixed shapes: pruned strategy scan vs unpruned.
+    let sx = shapes::truncated_staircase(Rat::int(3), Rat::int(2), 16);
+    ablations.push(ablation(
+        "conv staircase16 (pruned)",
+        2_000,
+        || {
+            std::hint::black_box(min_plus_conv(&sx, &sx));
+        },
+        || {
+            std::hint::black_box(min_plus_conv_general(&sx, &sx));
+        },
+    ));
+
+    // Deconvolution closed form.
+    let dy = rl(3, 4);
+    ablations.push(ablation(
+        "deconv concave / rate-latency",
+        20_000,
+        || {
+            std::hint::black_box(min_plus_deconv(&kx, &dy));
+        },
+        || {
+            std::hint::black_box(min_plus_deconv_general(&kx, &dy));
+        },
+    ));
+
+    // Rational ops: i64 lane vs checked reference route.
+    let (ra, rb) = (rat(355, 113), rat(-217, 990));
+    ablations.push(ablation(
+        "Rat add (i64 lane)",
+        2_000_000,
+        || {
+            std::hint::black_box(std::hint::black_box(ra) + std::hint::black_box(rb));
+        },
+        || {
+            std::hint::black_box(
+                std::hint::black_box(ra)
+                    .checked_add(std::hint::black_box(rb))
+                    .unwrap(),
+            );
+        },
+    ));
+    ablations.push(ablation(
+        "Rat mul (i64 lane)",
+        2_000_000,
+        || {
+            std::hint::black_box(std::hint::black_box(ra) * std::hint::black_box(rb));
+        },
+        || {
+            std::hint::black_box(
+                std::hint::black_box(ra)
+                    .checked_mul(std::hint::black_box(rb))
+                    .unwrap(),
+            );
+        },
+    ));
+
+    // Replication loops: pooled arena vs fresh storage per run. BLAST
+    // moves 64 MiB in ~700 MiB-sized jobs; BITW pushes ~7 events per
+    // KiB and is the event-bound workload.
+    let p = blast::deployed_pipeline();
+    let mut cfg = blast::sim_config(1);
+    cfg.total_input = 64 << 20;
+    let mut arena = SimArena::new();
+    ablations.push(ablation(
+        "streamsim BLAST 64 MiB (pooled)",
+        400,
+        || {
+            std::hint::black_box(simulate_in(&mut arena, &p, &cfg));
+        },
+        || {
+            std::hint::black_box(simulate(&p, &cfg));
+        },
+    ));
+
+    let pw = bitw::sim_pipeline();
+    let mut cfgw = bitw::sim_config(1);
+    let mut arena_w = SimArena::new();
+    ablations.push(ablation(
+        "streamsim BITW 2 MiB (pooled)",
+        100,
+        || {
+            std::hint::black_box(simulate_in(&mut arena_w, &pw, &cfgw));
+        },
+        || {
+            std::hint::black_box(simulate(&pw, &cfgw));
+        },
+    ));
+
+    // End-to-end 64 MiB simulation runs: the tracked wall-time
+    // trajectory for the DES + streamsim hot path.
+    println!("perf baseline: 64 MiB simulation runs");
+    let mut sims = Vec::new();
+    cfgw.total_input = 64 << 20;
+    for (what, p, cfg) in [
+        ("streamsim BITW 64 MiB", &pw, &cfgw),
+        ("streamsim BLAST 64 MiB", &p, &cfg),
+    ] {
+        let events = simulate(p, cfg).events;
+        let iters = if events > 100_000 { 20 } else { 400 };
+        let per_run_s = per_iter(iters, || {
+            std::hint::black_box(simulate(p, cfg));
+        });
+        println!("  {what:<36} {per_run_s:>12.3e}s  ({events} events)");
+        sims.push(SimTime {
+            what: what.into(),
+            events,
+            per_run_s,
+        });
+    }
+
+    let baseline = Baseline {
+        schema: "nc-perfbase-v1",
+        command: "cargo run --release -p nc-bench --bin perfbase",
+        bins,
+        sims,
+        ablations,
+    };
+    let root = nc_bench::results_dir()
+        .parent()
+        .expect("workspace root")
+        .to_path_buf();
+    let path = root.join("BENCH_1.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("[written {}]", path.display());
+}

@@ -9,14 +9,10 @@ fn main() {
 
     // --- Figure 1 (conceptual geometry) ---
     // Delegated: identical to the fig1 binary's computation.
-    let alpha = nc_core::curve::shapes::leaky_bucket(
-        nc_core::num::Rat::int(1),
-        nc_core::num::Rat::int(4),
-    );
-    let beta = nc_core::curve::shapes::rate_latency(
-        nc_core::num::Rat::int(2),
-        nc_core::num::Rat::int(2),
-    );
+    let alpha =
+        nc_core::curve::shapes::leaky_bucket(nc_core::num::Rat::int(1), nc_core::num::Rat::int(4));
+    let beta =
+        nc_core::curve::shapes::rate_latency(nc_core::num::Rat::int(2), nc_core::num::Rat::int(2));
     println!(
         "Figure 1 geometry: x = {:?}, d = {:?}\n",
         nc_core::bounds::backlog_bound(&alpha, &beta),
@@ -57,7 +53,10 @@ fn main() {
         &w.table3,
     );
     t3.push('\n');
-    t3.push_str(&nc_bench::format_bounds("Bump-in-the-wire (Sec. 5)", &w.bounds));
+    t3.push_str(&nc_bench::format_bounds(
+        "Bump-in-the-wire (Sec. 5)",
+        &w.bounds,
+    ));
     nc_bench::emit("table3.txt", &t3);
     nc_bench::emit_json("table3.json", &w.table3);
     let fig10 = bitw::figure10(&w, 160);

@@ -10,7 +10,10 @@ fn main() {
         &r.table3,
     );
     out.push('\n');
-    out.push_str(&nc_bench::format_bounds("Bump-in-the-wire (Sec. 5)", &r.bounds));
+    out.push_str(&nc_bench::format_bounds(
+        "Bump-in-the-wire (Sec. 5)",
+        &r.bounds,
+    ));
     nc_bench::emit("table3.txt", &out);
     nc_bench::emit_json("table3.json", &r.table3);
 }

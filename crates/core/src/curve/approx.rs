@@ -80,10 +80,7 @@ mod tests {
         let cases = [
             (lb(2, 5), rl(3, 4)),
             (lb(3, 2), rl(3, 4)),
-            (
-                lb(6, 1).min(&lb(2, 9)),
-                rl(3, 2),
-            ),
+            (lb(6, 1).min(&lb(2, 9)), rl(3, 2)),
         ];
         for (alpha, beta) in &cases {
             let exact_x = vertical_deviation(alpha, beta).to_f64();

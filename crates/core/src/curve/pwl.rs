@@ -572,6 +572,74 @@ impl Curve {
     }
 }
 
+/// Amortized-`O(1)` evaluation over a non-decreasing sequence of query
+/// abscissas.
+///
+/// [`Curve::eval`] binary-searches the breakpoint list on every call;
+/// grid sweeps (pointwise combination, convolution candidate scans,
+/// sampling) evaluate at sorted abscissas, where remembering the last
+/// segment makes the whole sweep linear. Queries that move backwards
+/// fall back to a binary search, so the cursor is always correct.
+pub struct EvalCursor<'a> {
+    curve: &'a Curve,
+    idx: usize,
+}
+
+impl<'a> EvalCursor<'a> {
+    /// Start a cursor at the first segment.
+    pub fn new(curve: &'a Curve) -> EvalCursor<'a> {
+        EvalCursor { curve, idx: 0 }
+    }
+
+    /// Position `idx` on the segment governing `t`.
+    fn seek(&mut self, t: Rat) {
+        debug_assert!(!t.is_negative(), "curves are defined on [0, inf)");
+        let bps = &self.curve.bps;
+        if bps[self.idx].x > t {
+            // Backwards query: restart with a binary search.
+            self.idx = self.curve.seg_index(t);
+            return;
+        }
+        while self.idx + 1 < bps.len() && bps[self.idx + 1].x <= t {
+            self.idx += 1;
+        }
+    }
+
+    /// Evaluate `f(t)` exactly; equal to [`Curve::eval`].
+    pub fn eval(&mut self, t: Rat) -> Value {
+        self.seek(t);
+        let bp = &self.curve.bps[self.idx];
+        if bp.x == t {
+            bp.v
+        } else {
+            match bp.v_right {
+                Value::Infinity => Value::Infinity,
+                v => v + Value::finite(bp.slope * (t - bp.x)),
+            }
+        }
+    }
+
+    /// Right-limit `f(t⁺)`; equal to [`Curve::eval_right`].
+    pub fn eval_right(&mut self, t: Rat) -> Value {
+        self.seek(t);
+        let bp = &self.curve.bps[self.idx];
+        if bp.x == t {
+            bp.v_right
+        } else {
+            match bp.v_right {
+                Value::Infinity => Value::Infinity,
+                v => v + Value::finite(bp.slope * (t - bp.x)),
+            }
+        }
+    }
+
+    /// Slope of the affine piece governing `t` (to the right of it).
+    pub fn slope(&mut self, t: Rat) -> Rat {
+        self.seek(t);
+        self.curve.bps[self.idx].slope
+    }
+}
+
 impl fmt::Debug for Curve {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Curve[")?;
@@ -639,13 +707,16 @@ pub(crate) fn combine(f: &Curve, g: &Curve, op: CombineOp) -> Curve {
     xs.dedup();
 
     // 2. For min/max insert crossings of the affine pieces inside each
-    //    open interval (including the unbounded tail).
+    //    open interval (including the unbounded tail). The grid is
+    //    sorted, so cursors make the sweep linear.
     if op.needs_crossings() {
+        let mut curf = EvalCursor::new(f);
+        let mut curg = EvalCursor::new(g);
         let mut extra: Vec<Rat> = Vec::new();
         for (i, &a) in xs.iter().enumerate() {
             let b = xs.get(i + 1).copied();
-            let (cf, sf) = (f.eval_right(a), seg_slope(f, a));
-            let (cg, sg) = (g.eval_right(a), seg_slope(g, a));
+            let (cf, sf) = (curf.eval_right(a), curf.slope(a));
+            let (cg, sg) = (curg.eval_right(a), curg.slope(a));
             if let (Value::Finite(cf), Value::Finite(cg)) = (cf, cg) {
                 if sf != sg && cf != cg {
                     // cf + sf (x - a) = cg + sg (x - a)
@@ -665,12 +736,15 @@ pub(crate) fn combine(f: &Curve, g: &Curve, op: CombineOp) -> Curve {
     // 3. Emit one breakpoint per grid abscissa; the slope on each open
     //    interval is reconstructed exactly from two interior samples
     //    (the interval contains no further breakpoints or crossings, so
-    //    the result is affine there).
+    //    the result is affine there). Samples ascend with the grid, so
+    //    one cursor pair serves the whole pass.
+    let mut curf = EvalCursor::new(f);
+    let mut curg = EvalCursor::new(g);
     let mut bps = Vec::with_capacity(xs.len());
     for (i, &x) in xs.iter().enumerate() {
-        let v = op.apply(f.eval(x), g.eval(x));
+        let v = op.apply(curf.eval(x), curg.eval(x));
         let next = xs.get(i + 1).copied();
-        let (slope, v_right) = interval_line(x, next, |t| op.apply(f.eval(t), g.eval(t)));
+        let (slope, v_right) = interval_line(x, next, |t| op.apply(curf.eval(t), curg.eval(t)));
         bps.push(Breakpoint {
             x,
             v,
@@ -681,12 +755,6 @@ pub(crate) fn combine(f: &Curve, g: &Curve, op: CombineOp) -> Curve {
     Curve::from_breakpoints_unchecked(bps)
 }
 
-/// Slope of the affine piece of `f` immediately to the right of `a`.
-fn seg_slope(f: &Curve, a: Rat) -> Rat {
-    let i = f.seg_index(a);
-    f.breakpoints()[i].slope
-}
-
 /// Reconstruct the affine piece on `(x, next)` (or `(x, ∞)`): returns
 /// `(slope, v_right)` given an exact evaluator for interior points.
 /// The evaluated function must be affine (or constant `+∞`) on the open
@@ -694,7 +762,7 @@ fn seg_slope(f: &Curve, a: Rat) -> Rat {
 pub(crate) fn interval_line(
     x: Rat,
     next: Option<Rat>,
-    eval: impl Fn(Rat) -> Value,
+    mut eval: impl FnMut(Rat) -> Value,
 ) -> (Rat, Value) {
     // Two interior sample points.
     let (m1, m2) = match next {
@@ -828,10 +896,7 @@ mod tests {
         assert_eq!(m.eval(Rat::ONE), Value::from(4));
         assert_eq!(m.eval(rat(5, 2)), Value::from(10));
         assert_eq!(m.eval(Rat::int(4)), Value::from(13));
-        assert!(m
-            .breakpoints()
-            .iter()
-            .any(|bp| bp.x == rat(5, 2)));
+        assert!(m.breakpoints().iter().any(|bp| bp.x == rat(5, 2)));
         // min of increasing curves is increasing.
         assert!(m.is_wide_sense_increasing());
     }
@@ -898,7 +963,10 @@ mod tests {
             Breakpoint::cont(Rat::int(5), Value::from(5), Rat::ZERO),
         ])
         .unwrap();
-        assert_eq!(plateau.lower_pseudo_inverse(Value::from(9)), Value::Infinity);
+        assert_eq!(
+            plateau.lower_pseudo_inverse(Value::from(9)),
+            Value::Infinity
+        );
         // Jump curves: inf of the preimage sits at the jump.
         let d = shapes::delta(Rat::int(2));
         assert_eq!(d.lower_pseudo_inverse(Value::from(100)), Value::from(2));
@@ -970,6 +1038,26 @@ mod tests {
         for num in 0..50 {
             let t = rat(num, 4);
             assert!(r.eval(t) >= c.eval(t), "t = {t:?}");
+        }
+    }
+
+    #[test]
+    fn eval_cursor_matches_eval() {
+        let c = lb(2, 5)
+            .min(&shapes::constant_rate(Rat::int(4)))
+            .max(&rl(3, 2));
+        let d = shapes::delta(Rat::int(6)).min(&c);
+        for curve in [&c, &d] {
+            let mut cur = EvalCursor::new(curve);
+            for num in 0..40 {
+                let t = rat(num, 4);
+                assert_eq!(cur.eval(t), curve.eval(t), "t = {t:?}");
+                assert_eq!(cur.eval_right(t), curve.eval_right(t), "t = {t:?}");
+            }
+            // Backwards queries fall back to a binary search.
+            let mut cur = EvalCursor::new(curve);
+            assert_eq!(cur.eval(Rat::int(9)), curve.eval(Rat::int(9)));
+            assert_eq!(cur.eval(Rat::ONE), curve.eval(Rat::ONE));
         }
     }
 

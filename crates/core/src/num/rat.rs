@@ -60,7 +60,10 @@ impl Rat {
 
     /// Construct from an integer.
     pub const fn int(n: i64) -> Rat {
-        Rat { num: n as i128, den: 1 }
+        Rat {
+            num: n as i128,
+            den: 1,
+        }
     }
 
     /// Numerator (lowest terms; carries the sign).
@@ -179,7 +182,21 @@ impl Rat {
     /// Panics on zero.
     pub fn recip(self) -> Rat {
         assert!(self.num != 0, "Rat::recip of zero");
-        Rat::new(self.den, self.num)
+        // Lowest terms are preserved by swapping the components; only
+        // the sign needs to move to the numerator.
+        if self.num > 0 {
+            Rat {
+                num: self.den,
+                den: self.num,
+            }
+        } else if self.num == i128::MIN {
+            Rat::new(self.den, self.num)
+        } else {
+            Rat {
+                num: -self.den,
+                den: -self.num,
+            }
+        }
     }
 
     /// Minimum of two rationals.
@@ -214,6 +231,47 @@ impl Rat {
     /// Ceiling to integer.
     pub fn ceil(self) -> i128 {
         -(-self.num).div_euclid(self.den)
+    }
+
+    /// `true` iff both components fit in `i64`, in which case every
+    /// cross product in add/mul/cmp stays below `2^126` and `i128`
+    /// arithmetic cannot overflow.
+    #[inline]
+    const fn fits_i64(self) -> bool {
+        self.num as i64 as i128 == self.num && self.den as i64 as i128 == self.den
+    }
+
+    /// Normalize `num/den` when `den > 0` is already known, spending at
+    /// most one gcd (vs. the sign handling in [`Rat::new`]).
+    #[inline]
+    fn reduced(num: i128, den: i128) -> Rat {
+        debug_assert!(den > 0);
+        if num == 0 {
+            return Rat::ZERO;
+        }
+        if den == 1 {
+            return Rat { num, den: 1 };
+        }
+        let g = gcd(num, den);
+        Rat {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// Overflow-checked addition.
+    ///
+    /// Always takes the full-width reference route that the operator
+    /// fast lane falls back to, making it usable as an oracle for the
+    /// fast lane in tests.
+    pub fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        self.checked_add_impl(rhs)
+    }
+
+    /// Overflow-checked multiplication (reference route; see
+    /// [`Rat::checked_add`]).
+    pub fn checked_mul(self, rhs: Rat) -> Option<Rat> {
+        self.checked_mul_impl(rhs)
     }
 
     fn checked_add_impl(self, rhs: Rat) -> Option<Rat> {
@@ -251,6 +309,11 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Fast lane: i64-sized components cross-multiply without any
+        // gcds or overflow checks.
+        if self.fits_i64() && other.fits_i64() {
+            return (self.num * other.den).cmp(&(other.num * self.den));
+        }
         // a/b vs c/d  <=>  a*d vs c*b (b, d > 0). Cross-reduce first.
         let g1 = gcd(self.num, other.num);
         let g2 = gcd(self.den, other.den);
@@ -274,6 +337,34 @@ impl Ord for Rat {
 impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
+        // Fast lane: i64-sized operands need no overflow checks, and the
+        // shape of the denominators decides how much gcd work remains.
+        // Results wider than i64 are still valid `Rat`s; they simply take
+        // the checked lane in later operations.
+        if self.fits_i64() && rhs.fits_i64() {
+            let Rat { num: a, den: b } = self;
+            let Rat { num: c, den: d } = rhs;
+            return if b == d {
+                if b == 1 {
+                    Rat { num: a + c, den: 1 }
+                } else {
+                    Rat::reduced(a + c, b)
+                }
+            } else if b == 1 {
+                // gcd(a·d + c, d) = gcd(c, d) = 1: already lowest terms.
+                Rat {
+                    num: a * d + c,
+                    den: d,
+                }
+            } else if d == 1 {
+                Rat {
+                    num: a + c * b,
+                    den: b,
+                }
+            } else {
+                Rat::reduced(a * d + c * b, b * d)
+            };
+        }
         self.checked_add_impl(rhs).expect("Rat add overflow")
     }
 }
@@ -281,6 +372,10 @@ impl Add for Rat {
 impl Sub for Rat {
     type Output = Rat;
     fn sub(self, rhs: Rat) -> Rat {
+        if self.fits_i64() && rhs.fits_i64() {
+            // The add fast lane cannot overflow for i64-sized operands.
+            return self + (-rhs);
+        }
         self.checked_add_impl(-rhs).expect("Rat sub overflow")
     }
 }
@@ -288,6 +383,21 @@ impl Sub for Rat {
 impl Mul for Rat {
     type Output = Rat;
     fn mul(self, rhs: Rat) -> Rat {
+        if self.fits_i64() && rhs.fits_i64() {
+            let Rat { num: a, den: b } = self;
+            let Rat { num: c, den: d } = rhs;
+            if b == 1 && d == 1 {
+                return Rat { num: a * c, den: 1 };
+            }
+            // Cross-reduce: (a/g1)·(c/g2) over (b/g2)·(d/g1) is already
+            // in lowest terms, so no trailing normalization is needed.
+            let g1 = gcd(a, d);
+            let g2 = gcd(c, b);
+            return Rat {
+                num: (a / g1) * (c / g2),
+                den: (b / g2) * (d / g1),
+            };
+        }
         self.checked_mul_impl(rhs).expect("Rat mul overflow")
     }
 }
@@ -296,7 +406,11 @@ impl Div for Rat {
     type Output = Rat;
     fn div(self, rhs: Rat) -> Rat {
         assert!(rhs.num != 0, "Rat division by zero");
-        self.checked_mul_impl(rhs.recip()).expect("Rat div overflow")
+        if self.fits_i64() && rhs.fits_i64() {
+            return self * rhs.recip();
+        }
+        self.checked_mul_impl(rhs.recip())
+            .expect("Rat div overflow")
     }
 }
 
@@ -491,6 +605,69 @@ mod tests {
     #[should_panic(expected = "division by zero")]
     fn div_by_zero_panics() {
         let _ = Rat::ONE / Rat::ZERO;
+    }
+
+    #[test]
+    fn fast_lane_matches_checked_reference() {
+        // Components at and around the i64 boundary: the lane predicate
+        // must route wide values to the checked path and the two paths
+        // must agree wherever both are defined.
+        let m = i64::MAX as i128;
+        let vals = [
+            Rat::ZERO,
+            Rat::ONE,
+            rat(-3, 7),
+            rat(5, 6),
+            rat(m, 1),
+            rat(-m, 1),
+            rat(m, m - 1),
+            rat(m - 1, m),
+            rat(1, m),
+            rat(-1, m),
+            rat(m, 2) * rat(m, 3), // wide: forces the checked lane
+            rat(7, 3) * rat(m, 1),
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                if let Some(s) = a.checked_add(b) {
+                    assert_eq!(a + b, s, "{a} + {b}");
+                    assert_eq!(a - (-b), s, "{a} - -{b}");
+                }
+                if let Some(p) = a.checked_mul(b) {
+                    assert_eq!(a * b, p, "{a} * {b}");
+                    if !b.is_zero() {
+                        assert_eq!(p / b, a, "{a}*{b} / {b}");
+                    }
+                }
+                // cmp agrees with the sign of the checked difference.
+                if let Some(d) = a.checked_add(-b) {
+                    assert_eq!(a.cmp(&b), d.signum().cmp(&0), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_lane_results_stay_in_lowest_terms() {
+        // Eq/Hash derive on the raw fields, so every lane must
+        // normalize. Exercise each denominator shape.
+        let cases = [
+            (rat(1, 4) + rat(1, 4), rat(1, 2)),
+            (rat(1, 6) + rat(1, 3), rat(1, 2)),
+            (Rat::int(2) + rat(3, 4), rat(11, 4)),
+            (rat(3, 4) + Rat::int(2), rat(11, 4)),
+            (Rat::int(6) * rat(5, 3), Rat::int(10)),
+            (rat(4, 9) * rat(3, 2), rat(2, 3)),
+            (rat(5, 6) - rat(1, 6), rat(2, 3)),
+            (rat(2, 3) / rat(4, 3), rat(1, 2)),
+        ];
+        for (got, want) in cases {
+            assert_eq!(got, want);
+            assert_eq!(got.numer(), want.numer());
+            assert_eq!(got.denom(), want.denom());
+        }
+        assert_eq!(rat(-3, 4).recip(), rat(-4, 3));
+        assert_eq!(rat(-3, 4).recip().denom(), 3);
     }
 
     #[test]

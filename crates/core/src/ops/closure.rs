@@ -14,7 +14,7 @@ use crate::curve::pwl::Curve;
 use crate::curve::shapes;
 use crate::num::Rat;
 
-use super::conv::min_plus_conv;
+use super::conv::{is_concave, min_plus_conv};
 
 /// Result of a (possibly truncated) closure computation.
 #[derive(Clone, Debug)]
@@ -33,6 +33,15 @@ pub struct Closure {
 pub fn subadditive_closure(f: &Curve, max_iter: usize) -> Closure {
     // Start from min(δ_0, f): the closure always passes through 0 at 0.
     let mut acc = shapes::delta(Rat::ZERO).min(f);
+    // Fast path: a concave curve through the origin is already
+    // sub-additive, so the iteration is a fixpoint from the start.
+    if acc.starts_at_zero() && is_concave(&acc) {
+        return Closure {
+            curve: acc,
+            converged: true,
+            iterations: 0,
+        };
+    }
     for i in 0..max_iter {
         let next = acc.min(&min_plus_conv(&acc, &acc));
         if next == acc {
@@ -90,10 +99,8 @@ mod tests {
 
     #[test]
     fn closure_is_idempotent_when_converged() {
-        let b = shapes::rate_latency(Rat::int(1), Rat::ONE).min(&shapes::leaky_bucket(
-            Rat::ONE,
-            Rat::int(2),
-        ));
+        let b = shapes::rate_latency(Rat::int(1), Rat::ONE)
+            .min(&shapes::leaky_bucket(Rat::ONE, Rat::int(2)));
         let c = subadditive_closure(&b, 32);
         if c.converged {
             assert!(is_subadditive(&c.curve));

@@ -8,19 +8,33 @@
 //!
 //! # Algorithm
 //!
-//! Closed forms cover the common cases: a pure delay `δ_T` shifts the
-//! other operand, and for concave operands vanishing at `0`,
-//! `f ⊗ g = min(f, g)`.
+//! [`min_plus_conv`] dispatches on the operands' shape:
 //!
-//! In general, candidate breakpoints of the result lie in the Minkowski
-//! sum `{x_i + y_j}` of the operands' breakpoints, *but the result is
-//! not affine between candidates*: on each open interval the
+//! * a pure delay `δ_T` shifts the other operand (`O(n)`);
+//! * two concave operands reduce to `min(f, g)` after normalising the
+//!   values at `0` (Le Boudec & Thiran, Thm 3.1.6) — `O(n + m)`;
+//! * two convex operands use the slope-merge closed form: the result
+//!   concatenates both operands' segments in ascending slope order
+//!   starting from `f(0) + g(0)` — `O(n + m)`;
+//! * genuinely mixed curves fall back to the general strategy-envelope
+//!   algorithm, with domain-aware pruning of the strategy scan.
+//!
+//! In the general case, candidate breakpoints of the result lie in the
+//! Minkowski sum `{x_i + y_j}` of the operands' breakpoints, *but the
+//! result is not affine between candidates*: on each open interval the
 //! convolution equals the pointwise minimum of finitely many affine
 //! "strategies" (the infimum pinned at a breakpoint of `f`, or at
 //! `t − y_j` for a breakpoint of `g`), whose crossings create further
 //! kinks. We therefore take the exact [lower envelope](super::envelope)
 //! of the strategy lines on every interval. All arithmetic is rational,
 //! so the result is exact.
+//!
+//! The unpruned general algorithm stays available as
+//! [`min_plus_conv_general`]; it is the reference oracle the fast paths
+//! are property-tested against.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::curve::pwl::{Breakpoint, Curve};
 use crate::num::{Rat, Value};
@@ -28,6 +42,11 @@ use crate::num::{Rat, Value};
 use super::envelope::{lower_envelope, Line};
 
 /// Exact min-plus convolution of two wide-sense increasing curves.
+///
+/// Dispatches to closed forms where the operands' shape allows (pure
+/// delays, concave ⊗ concave, convex ⊗ convex) and otherwise runs the
+/// general strategy-envelope algorithm with a pruned strategy scan.
+/// Always agrees exactly with [`min_plus_conv_general`].
 ///
 /// # Panics
 /// Panics (in debug builds) if either operand is not wide-sense
@@ -44,54 +63,273 @@ pub fn min_plus_conv(f: &Curve, g: &Curve) -> Curve {
         return f.shift_right(t);
     }
     // Fast path: for concave curves with f(0) = g(0) = 0,
-    // f ⊗ g = min(f, g)  (Le Boudec & Thiran, Thm 3.1.6).
-    if f.starts_at_zero() && g.starts_at_zero() && is_concave(f) && is_concave(g) {
-        return f.min(g);
+    // f ⊗ g = min(f, g)  (Le Boudec & Thiran, Thm 3.1.6). Non-zero
+    // offsets factor out of the infimum:
+    // (a + F) ⊗ (b + G) = a + b + (F ⊗ G) = min(f + b, g + a).
+    if is_concave(f) && is_concave(g) {
+        // Concave curves are finite everywhere, so the offsets are too.
+        let f0 = f.at_zero().unwrap_finite();
+        let g0 = g.at_zero().unwrap_finite();
+        if f0.is_zero() && g0.is_zero() {
+            return f.min(g);
+        }
+        return f.shift_up(g0).min(&g.shift_up(f0));
     }
+    // Fast path: convex ⊗ convex has an O(n + m) slope-merge closed form.
+    if is_convex(f) && is_convex(g) {
+        return conv_convex(f, g);
+    }
+    conv_general_impl(f, g, true)
+}
 
-    // General case: Minkowski-sum candidate abscissas.
-    let mut ts: Vec<Rat> = Vec::with_capacity(f.len() * g.len());
-    for bf in f.breakpoints() {
-        for bg in g.breakpoints() {
-            ts.push(bf.x + bg.x);
+/// The general strategy-envelope convolution, with no shape dispatch
+/// and no strategy pruning.
+///
+/// This is the reference oracle: slower than [`min_plus_conv`] but
+/// correct for every pair of wide-sense increasing operands; the fast
+/// paths are property-tested to agree with it exactly.
+pub fn min_plus_conv_general(f: &Curve, g: &Curve) -> Curve {
+    debug_assert!(f.is_wide_sense_increasing(), "conv operand must increase");
+    debug_assert!(g.is_wide_sense_increasing(), "conv operand must increase");
+    conv_general_impl(f, g, false)
+}
+
+/// Sorted, deduplicated Minkowski sums `{x_i + y_j}` of the operands'
+/// breakpoint abscissas.
+///
+/// Built as an n-way merge of the (already sorted) per-row sums, so
+/// allocation is proportional to the deduplicated output plus one heap
+/// slot per row — on the aligned grids typical of staircase and
+/// integer-rate curves the output has `O(n + m)` entries, not `n · m`.
+fn minkowski_sums(f: &Curve, g: &Curve) -> Vec<Rat> {
+    let fx = f.breakpoints();
+    let gx = g.breakpoints();
+    let mut heap: BinaryHeap<Reverse<(Rat, usize, usize)>> = BinaryHeap::with_capacity(fx.len());
+    for (i, bf) in fx.iter().enumerate() {
+        heap.push(Reverse((bf.x + gx[0].x, i, 0)));
+    }
+    let mut out: Vec<Rat> = Vec::with_capacity(fx.len() + gx.len() - 1);
+    while let Some(Reverse((t, i, j))) = heap.pop() {
+        if out.last() != Some(&t) {
+            out.push(t);
+        }
+        if j + 1 < gx.len() {
+            heap.push(Reverse((fx[i].x + gx[j + 1].x, i, j + 1)));
         }
     }
-    ts.sort_unstable();
-    ts.dedup();
+    out
+}
+
+/// Per-operand strategy-pin data, precomputed once per convolution.
+struct PinSet {
+    /// Breakpoint abscissas (sorted).
+    xs: Vec<Rat>,
+    /// Pin values: the cheapest one-sided value of the operand at each
+    /// breakpoint.
+    ks: Vec<Value>,
+    /// Running minimum of `k_i − s · x_i`, where `s` is the *other*
+    /// operand's ultimate slope. All strategies whose sample points lie
+    /// past the other operand's last breakpoint are parallel lines of
+    /// slope `s`, so only this minimum survives the lower envelope.
+    pref: Vec<Value>,
+}
+
+fn pin_set(c: &Curve, other_tail_slope: Option<Rat>) -> PinSet {
+    let bps = c.breakpoints();
+    let mut xs = Vec::with_capacity(bps.len());
+    let mut ks = Vec::with_capacity(bps.len());
+    let mut pref = Vec::with_capacity(bps.len());
+    let mut run = Value::Infinity;
+    for bp in bps {
+        let mut k = bp.v;
+        if bp.x.is_positive() {
+            k = k.min(c.eval_left(bp.x));
+        }
+        k = k.min(bp.v_right);
+        if let (Some(s), Value::Finite(kf)) = (other_tail_slope, k) {
+            run = run.min(Value::finite(kf - s * bp.x));
+        }
+        xs.push(bp.x);
+        ks.push(k);
+        pref.push(run);
+    }
+    PinSet { xs, ks, pref }
+}
+
+/// Append the strategy lines pinned at `pins`' breakpoints governing
+/// the open interval `(a, b)` sampled at `m1 < m2`.
+///
+/// With `prune` set, strategies whose sample points land past `other`'s
+/// last breakpoint are not scanned individually: `other` is in its
+/// ultimate piece there, so they are either all `+∞` (infinite tail) or
+/// parallel lines collapsed to the single prefix-minimum line.
+fn pinned_strategy_lines(
+    pins: &PinSet,
+    other: &Curve,
+    a: Rat,
+    m1: Rat,
+    m2: Rat,
+    prune: bool,
+    lines: &mut Vec<Line>,
+) {
+    let n_le_a = pins.xs.partition_point(|&x| x <= a);
+    let mut start = 0;
+    if prune {
+        let other_last = other.last_breakpoint_x();
+        // x_i < m1 − other_last puts both samples on `other`'s final
+        // piece. (x_i + other_last is itself a Minkowski candidate, so
+        // it cannot fall inside (a, b): the whole interval is covered.)
+        let stable = pins.xs[..n_le_a].partition_point(|&x| m1 - x > other_last);
+        if stable > 0 {
+            start = stable;
+            if let Value::Finite(s) = other.ultimate_slope() {
+                if let Value::Finite(best) = pins.pref[stable - 1] {
+                    let last = &other.breakpoints()[other.len() - 1];
+                    // Strategy value: k_i + other(m − x_i)
+                    //   = (k_i − s·x_i) + vr_last + s · (m − other_last).
+                    let vr_last = last.v_right.unwrap_finite();
+                    let v0 = best + vr_last + s * (a - other_last);
+                    lines.push(Line { v0, slope: s });
+                }
+            }
+            // Infinite ultimate slope: `other` is +∞ on its tail, so
+            // every collapsed strategy is +∞ — nothing to push.
+        }
+    }
+    for i in start..n_le_a {
+        let k = pins.ks[i];
+        if k.is_infinite() {
+            continue;
+        }
+        let x = pins.xs[i];
+        push_line(lines, m1, m2, a, |m| k + other.eval(m - x));
+    }
+}
+
+/// Shared body of the general algorithm; `prune` enables the
+/// stabilised-slope strategy pruning (off for the reference oracle).
+fn conv_general_impl(f: &Curve, g: &Curve, prune: bool) -> Curve {
+    let ts = minkowski_sums(f, g);
+    let tail = |c: &Curve| match c.ultimate_slope() {
+        Value::Finite(s) => Some(s),
+        _ => None,
+    };
+    let pins_f = pin_set(f, tail(g));
+    let pins_g = pin_set(g, tail(f));
 
     let mut bps: Vec<Breakpoint> = Vec::with_capacity(ts.len());
+    let mut lines: Vec<Line> = Vec::new();
     for (k, &a) in ts.iter().enumerate() {
         let v = conv_at(f, g, a);
         let b = ts.get(k + 1).copied();
-        let lines = strategy_lines_conv(f, g, a, b);
-        match lines {
-            None => {
-                // No finite strategy: the convolution is +inf on (a, b).
-                bps.push(Breakpoint {
-                    x: a,
-                    v,
-                    v_right: Value::Infinity,
-                    slope: Rat::ZERO,
-                });
+        // Two interior sample abscissas used to express each strategy
+        // as a line in local coordinates u = t − a.
+        let (m1, m2) = match b {
+            Some(b) => {
+                let d = (b - a) / Rat::int(3);
+                (a + d, a + d + d)
             }
-            Some(lines) => {
-                let env = lower_envelope(&lines, b.map(|b| b - a));
-                bps.push(Breakpoint {
-                    x: a,
-                    v,
-                    v_right: Value::finite(env[0].value),
-                    slope: env[0].slope,
-                });
-                for piece in &env[1..] {
-                    bps.push(Breakpoint::cont(
-                        a + piece.start,
-                        Value::finite(piece.value),
-                        piece.slope,
-                    ));
-                }
+            None => (a + Rat::ONE, a + Rat::int(2)),
+        };
+        lines.clear();
+        // Strategies pinned at a breakpoint of f: s ≈ x_i, value
+        // K + g(t − x_i) with K the cheapest one-sided value of f at
+        // x_i — and symmetrically for g.
+        pinned_strategy_lines(&pins_f, g, a, m1, m2, prune, &mut lines);
+        pinned_strategy_lines(&pins_g, f, a, m1, m2, prune, &mut lines);
+        if lines.is_empty() {
+            // No finite strategy: the convolution is +inf on (a, b).
+            bps.push(Breakpoint {
+                x: a,
+                v,
+                v_right: Value::Infinity,
+                slope: Rat::ZERO,
+            });
+        } else {
+            let env = lower_envelope(&lines, b.map(|b| b - a));
+            bps.push(Breakpoint {
+                x: a,
+                v,
+                v_right: Value::finite(env[0].value),
+                slope: env[0].slope,
+            });
+            for piece in &env[1..] {
+                bps.push(Breakpoint::cont(
+                    a + piece.start,
+                    Value::finite(piece.value),
+                    piece.slope,
+                ));
             }
         }
     }
+    Curve::from_breakpoints_unchecked(bps)
+}
+
+/// Convex ⊗ convex closed form, `O(n + m)`.
+///
+/// A convex function's segments appear in ascending slope order, and
+/// the convolution of convex functions spends time on the cheapest
+/// slopes first: starting from `f(0) + g(0)`, the result concatenates
+/// both operands' finite segments merged by ascending slope. An
+/// operand's jump to `+∞` simply ends its segment contribution; when
+/// both operands end at `+∞` so does the result (at the sum of their
+/// finite extents).
+fn conv_convex(f: &Curve, g: &Curve) -> Curve {
+    // `(length, slope)` per affine piece; `None` length marks the
+    // unbounded final piece (absent when the curve ends at +∞).
+    fn segments(c: &Curve) -> Vec<(Option<Rat>, Rat)> {
+        let bps = c.breakpoints();
+        let mut out = Vec::with_capacity(bps.len());
+        for (i, bp) in bps.iter().enumerate() {
+            if bp.v_right.is_infinite() {
+                break;
+            }
+            match bps.get(i + 1) {
+                Some(next) => out.push((Some(next.x - bp.x), bp.slope)),
+                None => out.push((None, bp.slope)),
+            }
+        }
+        out
+    }
+    let sf = segments(f);
+    let sg = segments(g);
+    let mut x = Rat::ZERO;
+    let mut v = (f.at_zero() + g.at_zero()).unwrap_finite();
+    let mut bps: Vec<Breakpoint> = Vec::with_capacity(sf.len() + sg.len() + 1);
+    let (mut i, mut j) = (0, 0);
+    loop {
+        let take_f = match (sf.get(i), sg.get(j)) {
+            (Some(a), Some(b)) => a.1 <= b.1,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let (len, slope) = if take_f {
+            i += 1;
+            sf[i - 1]
+        } else {
+            j += 1;
+            sg[j - 1]
+        };
+        bps.push(Breakpoint::cont(x, Value::finite(v), slope));
+        match len {
+            // An unbounded segment absorbs everything after it: all
+            // remaining segments have equal or steeper slopes and never
+            // get reached by the infimum.
+            None => return Curve::from_breakpoints_unchecked(bps),
+            Some(l) => {
+                x += l;
+                v += slope * l;
+            }
+        }
+    }
+    // Both operands exhausted their finite extent: +∞ from here on.
+    bps.push(Breakpoint {
+        x,
+        v: Value::finite(v),
+        v_right: Value::Infinity,
+        slope: Rat::ZERO,
+    });
     Curve::from_breakpoints_unchecked(bps)
 }
 
@@ -100,28 +338,13 @@ pub fn min_plus_conv(f: &Curve, g: &Curve) -> Curve {
 /// The infimum of the piecewise-affine map `s ↦ f(s) + g(t−s)` over
 /// `[0, t]` is reached at a breakpoint of the map or as a one-sided
 /// limit at one; all such candidates lie on the grid
-/// `{x_i} ∪ {t − y_j}`.
+/// `{0, t} ∪ {x_i} ∪ {t − y_j}`. The minimum needs neither ordering nor
+/// deduplication, so the candidates are probed directly without
+/// materialising the grid.
 pub fn conv_at(f: &Curve, g: &Curve, t: Rat) -> Value {
     debug_assert!(!t.is_negative());
-    let mut grid: Vec<Rat> = Vec::new();
-    grid.push(Rat::ZERO);
-    grid.push(t);
-    for bf in f.breakpoints() {
-        if bf.x <= t {
-            grid.push(bf.x);
-        }
-    }
-    for bg in g.breakpoints() {
-        let s = t - bg.x;
-        if !s.is_negative() {
-            grid.push(s);
-        }
-    }
-    grid.sort_unstable();
-    grid.dedup();
-
     let mut best = Value::Infinity;
-    for &s in &grid {
+    let mut probe = |s: Rat| {
         let u = t - s;
         // Value at the grid point itself.
         best = best.min(f.eval(s) + g.eval(u));
@@ -133,58 +356,23 @@ pub fn conv_at(f: &Curve, g: &Curve, t: Rat) -> Value {
         if s.is_positive() {
             best = best.min(f.eval_left(s) + g.eval_right(u));
         }
+    };
+    probe(Rat::ZERO);
+    probe(t);
+    for bf in f.breakpoints() {
+        if bf.x > t {
+            break;
+        }
+        probe(bf.x);
+    }
+    for bg in g.breakpoints() {
+        let s = t - bg.x;
+        if s.is_negative() {
+            break;
+        }
+        probe(s);
     }
     best
-}
-
-/// Build the affine strategies governing `(f ⊗ g)` on the open interval
-/// `(a, b)` (where `(a, b)` contains no Minkowski-sum candidate).
-///
-/// Returns `None` when every strategy is infinite (the convolution is
-/// `+∞` on the interval).
-fn strategy_lines_conv(f: &Curve, g: &Curve, a: Rat, b: Option<Rat>) -> Option<Vec<Line>> {
-    // Two interior sample abscissas used to express each strategy as a
-    // line in local coordinates u = t − a.
-    let (m1, m2) = match b {
-        Some(b) => {
-            let d = (b - a) / Rat::int(3);
-            (a + d, a + d + d)
-        }
-        None => (a + Rat::ONE, a + Rat::int(2)),
-    };
-    let mut lines = Vec::new();
-
-    // Strategies pinned at a breakpoint of f: s ≈ x_i, value
-    // K + g(t − x_i) with K the cheapest one-sided value of f at x_i.
-    for bf in f.breakpoints() {
-        if bf.x > a {
-            continue;
-        }
-        let mut k = bf.v;
-        if bf.x.is_positive() {
-            k = k.min(f.eval_left(bf.x));
-        }
-        k = k.min(bf.v_right);
-        push_line(&mut lines, m1, m2, a, |m| k + g.eval(m - bf.x));
-    }
-    // Strategies pinned at a breakpoint of g: s = t − y_j, value
-    // f(t − y_j) + L with L the cheapest one-sided value of g at y_j.
-    for bg in g.breakpoints() {
-        if bg.x > a {
-            continue;
-        }
-        let mut l = bg.v;
-        if bg.x.is_positive() {
-            l = l.min(g.eval_left(bg.x));
-        }
-        l = l.min(bg.v_right);
-        push_line(&mut lines, m1, m2, a, |m| f.eval(m - bg.x) + l);
-    }
-    if lines.is_empty() {
-        None
-    } else {
-        Some(lines)
-    }
 }
 
 /// Evaluate `strategy` at the two interior samples; if finite at both,
@@ -216,9 +404,8 @@ pub(crate) fn as_pure_delay(c: &Curve) -> Option<Rat> {
             }
         }
         [first, last] => {
-            let zero_plateau = first.v == Value::ZERO
-                && first.v_right == Value::ZERO
-                && first.slope.is_zero();
+            let zero_plateau =
+                first.v == Value::ZERO && first.v_right == Value::ZERO && first.slope.is_zero();
             if zero_plateau && last.v == Value::ZERO && last.v_right == Value::Infinity {
                 Some(last.x)
             } else {
@@ -244,6 +431,37 @@ pub(crate) fn is_concave(c: &Curve) -> bool {
         }
         if let Some(p) = prev_slope {
             if bp.slope > p {
+                return false;
+            }
+        }
+        prev_slope = Some(bp.slope);
+    }
+    true
+}
+
+/// `true` iff the curve is convex on its finite domain: continuous with
+/// non-decreasing slopes. A final jump to `+∞` is allowed (`δ_T` and
+/// truncated service curves are convex); any other jump is not.
+pub(crate) fn is_convex(c: &Curve) -> bool {
+    let bps = c.breakpoints();
+    if bps[0].v.is_infinite() {
+        // The +∞-everywhere curve; route it through the general path.
+        return false;
+    }
+    let mut prev_slope: Option<Rat> = None;
+    for (i, bp) in bps.iter().enumerate() {
+        if i > 0 && c.eval_left(bp.x) != bp.v {
+            return false;
+        }
+        if bp.v_right.is_infinite() {
+            // Valid representation puts the jump to +∞ last.
+            return true;
+        }
+        if bp.v != bp.v_right {
+            return false;
+        }
+        if let Some(p) = prev_slope {
+            if bp.slope < p {
                 return false;
             }
         }
@@ -281,28 +499,36 @@ mod tests {
         }
     }
 
+    /// Every public entry point must agree with the reference oracle.
+    fn check_matches_general(f: &Curve, g: &Curve) -> Curve {
+        let fast = min_plus_conv(f, g);
+        let general = min_plus_conv_general(f, g);
+        assert_eq!(fast, general, "fast path disagrees with oracle");
+        fast
+    }
+
     #[test]
     fn delta_is_identity() {
         let f = lb(2, 5);
-        let c = min_plus_conv(&f, &shapes::delta(Rat::ZERO));
+        let c = check_matches_general(&f, &shapes::delta(Rat::ZERO));
         assert_eq!(c, f);
-        let c = min_plus_conv(&shapes::delta(Rat::ZERO), &f);
+        let c = check_matches_general(&shapes::delta(Rat::ZERO), &f);
         assert_eq!(c, f);
     }
 
     #[test]
     fn delta_shifts() {
         let f = rl(3, 1);
-        let c = min_plus_conv(&f, &shapes::delta(Rat::int(2)));
+        let c = check_matches_general(&f, &shapes::delta(Rat::int(2)));
         assert_eq!(c, rl(3, 3));
     }
 
     #[test]
     fn rate_latency_composition() {
         // RL(R1,T1) ⊗ RL(R2,T2) = RL(min(R1,R2), T1+T2).
-        let c = min_plus_conv(&rl(3, 2), &rl(5, 1));
+        let c = check_matches_general(&rl(3, 2), &rl(5, 1));
         assert_eq!(c, rl(3, 3));
-        let c = min_plus_conv(&rl(5, 1), &rl(3, 2));
+        let c = check_matches_general(&rl(5, 1), &rl(3, 2));
         assert_eq!(c, rl(3, 3));
     }
 
@@ -310,8 +536,46 @@ mod tests {
     fn concave_conv_is_min() {
         let a = lb(2, 5);
         let b = lb(1, 9);
-        let c = min_plus_conv(&a, &b);
+        let c = check_matches_general(&a, &b);
         assert_eq!(c, a.min(&b));
+    }
+
+    #[test]
+    fn concave_conv_with_offsets() {
+        // Offsets at 0 factor out: (a + F) ⊗ (b + G) = a + b + F ⊗ G.
+        let f = lb(2, 5).shift_up(Rat::int(3));
+        let g = lb(1, 9).shift_up(Rat::int(2));
+        let c = check_matches_general(&f, &g);
+        assert_eq!(c.eval(Rat::ZERO), Value::from(5));
+        check_against_sampling(&f, &g, &c, 8, 2);
+    }
+
+    #[test]
+    fn convex_conv_slope_merge() {
+        // Two convex curves with interleaving slopes.
+        let f = shapes::rate_latency(Rat::ONE, Rat::ZERO).max(&rl(4, 3)); // slopes 1 then 4
+        let g = rl(2, 1).max(&rl(6, 5)); // slopes 0, 2, 6
+        assert!(is_convex(&f));
+        assert!(is_convex(&g));
+        let c = check_matches_general(&f, &g);
+        assert!(c.is_wide_sense_increasing());
+        check_against_sampling(&f, &g, &c, 14, 2);
+    }
+
+    #[test]
+    fn convex_conv_with_truncation() {
+        // A convex curve ending at +∞ convolved with an unbounded one.
+        let trunc = shapes::delta(Rat::int(2)).max(&rl(1, 0)); // t up to 2, then +∞
+        assert!(is_convex(&trunc));
+        let g = rl(3, 1);
+        let c = check_matches_general(&trunc, &g);
+        check_against_sampling(&trunc, &g, &c, 8, 2);
+        // Two truncated curves: finite exactly up to the summed extents.
+        let trunc2 = shapes::delta(Rat::int(1)).max(&rl(2, 0));
+        let c2 = check_matches_general(&trunc, &trunc2);
+        assert!(c2.eval(Rat::int(3)).is_finite());
+        assert_eq!(c2.eval(rat(7, 2)), Value::Infinity);
+        check_against_sampling(&trunc, &trunc2, &c2, 6, 2);
     }
 
     #[test]
@@ -322,7 +586,7 @@ mod tests {
         // Minkowski sum of the operand breakpoints.
         let a = lb(2, 5);
         let b = rl(3, 4);
-        let c = min_plus_conv(&a, &b);
+        let c = check_matches_general(&a, &b);
         assert_eq!(c.eval(Rat::int(2)), Value::ZERO);
         assert_eq!(c.eval(Rat::int(4)), Value::ZERO);
         assert_eq!(c.eval_right(Rat::int(4)), Value::ZERO);
@@ -338,8 +602,8 @@ mod tests {
     fn conv_commutative_on_mixed_curves() {
         let a = lb(2, 5).min(&shapes::constant_rate(Rat::int(7)));
         let b = rl(3, 4).add(&rl(1, 1));
-        let ab = min_plus_conv(&a, &b);
-        let ba = min_plus_conv(&b, &a);
+        let ab = check_matches_general(&a, &b);
+        let ba = check_matches_general(&b, &a);
         assert_eq!(ab, ba);
         check_against_sampling(&a, &b, &ab, 10, 3);
     }
@@ -358,7 +622,7 @@ mod tests {
     fn staircase_conv_rate_latency() {
         let s = shapes::truncated_staircase(Rat::int(4), Rat::int(2), 4);
         let b = rl(2, 1);
-        let c = min_plus_conv(&s, &b);
+        let c = check_matches_general(&s, &b);
         assert!(c.is_wide_sense_increasing());
         check_against_sampling(&s, &b, &c, 12, 2);
     }
@@ -368,7 +632,7 @@ mod tests {
         // f(0) > 0 shifts the whole result up.
         let f = lb(1, 2).shift_up(Rat::int(3));
         let g = rl(2, 1);
-        let c = min_plus_conv(&f, &g);
+        let c = check_matches_general(&f, &g);
         assert_eq!(c.eval(Rat::ZERO), Value::from(3));
         check_against_sampling(&f, &g, &c, 8, 2);
     }
@@ -378,14 +642,17 @@ mod tests {
         // Two delta-containing curves: δ_1 min LB vs δ_2 min RL shapes.
         let f = shapes::delta(Rat::int(1)).min(&lb(3, 7));
         let g = shapes::delta(Rat::int(2)).min(&rl(5, 1));
-        let c = min_plus_conv(&f, &g);
+        let c = check_matches_general(&f, &g);
         assert!(c.is_wide_sense_increasing());
         check_against_sampling(&f, &g, &c, 10, 2);
     }
 
     #[test]
     fn detects_pure_delay() {
-        assert_eq!(as_pure_delay(&shapes::delta(Rat::int(3))), Some(Rat::int(3)));
+        assert_eq!(
+            as_pure_delay(&shapes::delta(Rat::int(3))),
+            Some(Rat::int(3))
+        );
         assert_eq!(as_pure_delay(&shapes::delta(Rat::ZERO)), Some(Rat::ZERO));
         assert_eq!(as_pure_delay(&lb(1, 1)), None);
         assert_eq!(as_pure_delay(&rl(1, 1)), None);
@@ -394,7 +661,9 @@ mod tests {
     #[test]
     fn concavity_detection() {
         assert!(is_concave(&lb(2, 5)));
-        assert!(is_concave(&lb(2, 5).min(&shapes::constant_rate(Rat::int(7)))));
+        assert!(is_concave(
+            &lb(2, 5).min(&shapes::constant_rate(Rat::int(7)))
+        ));
         assert!(!is_concave(&rl(3, 1))); // convex, not concave
         assert!(is_concave(&shapes::constant_rate(Rat::int(3)))); // affine: both
         assert!(!is_concave(&shapes::delta(Rat::int(1))));
@@ -403,5 +672,34 @@ mod tests {
             Rat::ONE,
             2
         )));
+    }
+
+    #[test]
+    fn convexity_detection() {
+        assert!(is_convex(&rl(3, 1)));
+        assert!(is_convex(&shapes::constant_rate(Rat::int(3)))); // affine: both
+        assert!(is_convex(&shapes::delta(Rat::int(1)))); // handled by delay path first
+        assert!(is_convex(&rl(1, 0).max(&rl(4, 3))));
+        assert!(!is_convex(&lb(2, 5))); // burst at 0 is not convex
+        assert!(!is_convex(
+            &lb(2, 5).min(&shapes::constant_rate(Rat::int(7)))
+        ));
+        assert!(!is_convex(&shapes::truncated_staircase(
+            Rat::ONE,
+            Rat::ONE,
+            2
+        )));
+    }
+
+    #[test]
+    fn minkowski_sums_dedup_aligned_grids() {
+        let s = shapes::truncated_staircase(Rat::int(4), Rat::int(2), 6);
+        let sums = minkowski_sums(&s, &s);
+        // Aligned staircases collide heavily: output is O(n + m).
+        assert!(sums.len() <= 2 * s.len());
+        let mut sorted = sums.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sums, sorted, "sums must come out sorted and deduped");
     }
 }

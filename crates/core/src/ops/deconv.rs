@@ -16,19 +16,35 @@
 //!
 //! # Algorithm
 //!
-//! Mirrors [convolution](super::conv): result breakpoints lie among the
-//! pairwise differences `{x_i − y_j} ∩ [0, ∞)`, and between candidates
-//! the deconvolution is the *upper envelope* of finitely many affine
-//! strategies (supremum pinned at a breakpoint of `g`, at `u = x_i − t`
-//! for a breakpoint of `f`, or at the tail `u → ∞`).
+//! [`min_plus_deconv`] dispatches on the operands' shape:
+//!
+//! * `f ⊘ δ_T` is a left shift: `t ↦ f(t + T)` — `O(n)`;
+//! * concave `f` deconvolved by a rate-latency `RL(R, T)` has a closed
+//!   form: a line of slope `R` up to the slope-crossing point
+//!   `s* = inf { s : f'(s) ≤ R }` shifted by `T`, then `f(t + T)` —
+//!   `O(n)`;
+//! * everything else runs the general algorithm.
+//!
+//! The general algorithm mirrors [convolution](super::conv): result
+//! breakpoints lie among the pairwise differences
+//! `{x_i − y_j} ∩ [0, ∞)`, and between candidates the deconvolution is
+//! the *upper envelope* of finitely many affine strategies (supremum
+//! pinned at a breakpoint of `g`, at `u = x_i − t` for a breakpoint of
+//! `f`, or at the tail `u → ∞`). It stays available unconditionally as
+//! [`min_plus_deconv_general`], the property-test oracle for the fast
+//! paths.
 
 use crate::curve::pwl::{Breakpoint, Curve};
 use crate::num::{Rat, Value};
 
-use super::conv::push_line;
+use super::conv::{as_pure_delay, is_concave, push_line};
 use super::envelope::{upper_envelope, Line};
 
 /// Exact min-plus deconvolution of two wide-sense increasing curves.
+///
+/// Dispatches to closed forms where the operands' shape allows and
+/// otherwise runs the general strategy-envelope algorithm. Always
+/// agrees exactly with [`min_plus_deconv_general`].
 pub fn min_plus_deconv(f: &Curve, g: &Curve) -> Curve {
     debug_assert!(f.is_wide_sense_increasing());
     debug_assert!(g.is_wide_sense_increasing());
@@ -41,6 +57,33 @@ pub fn min_plus_deconv(f: &Curve, g: &Curve) -> Curve {
         }
     }
 
+    // Fast path: deconvolving by a pure delay shifts left.
+    if let Some(t) = as_pure_delay(g) {
+        return shift_left(f, t);
+    }
+    // Fast path: concave ⊘ rate-latency closed form.
+    if is_concave(f) {
+        if let Some((r, t)) = as_rate_latency(g) {
+            return deconv_concave_rl(f, r, t);
+        }
+    }
+    deconv_general_impl(f, g)
+}
+
+/// The general strategy-envelope deconvolution with no shape dispatch:
+/// the reference oracle the fast paths are property-tested against.
+pub fn min_plus_deconv_general(f: &Curve, g: &Curve) -> Curve {
+    debug_assert!(f.is_wide_sense_increasing());
+    debug_assert!(g.is_wide_sense_increasing());
+    if let (Value::Finite(rf), Value::Finite(rg)) = (f.ultimate_slope(), g.ultimate_slope()) {
+        if rf > rg {
+            return infinite_curve();
+        }
+    }
+    deconv_general_impl(f, g)
+}
+
+fn deconv_general_impl(f: &Curve, g: &Curve) -> Curve {
     // Tail pin: beyond this u both operands are in their final piece,
     // so h(u) = f(t+u) − g(u) is affine in u with non-positive slope.
     let u_tail = f.last_breakpoint_x().max(g.last_breakpoint_x()) + Rat::ONE;
@@ -237,6 +280,132 @@ fn strategy_lines_deconv(
     }
 }
 
+/// Left shift under min-plus semantics: `(f ⊘ δ_T)(t) = f(t + T)`.
+fn shift_left(f: &Curve, t_shift: Rat) -> Curve {
+    if t_shift.is_zero() {
+        return f.clone();
+    }
+    if f.eval(t_shift).is_infinite() {
+        // f is +∞ from T on (f increases), so the shift is +∞ everywhere.
+        return infinite_curve();
+    }
+    let bps_in = f.breakpoints();
+    let i0 = bps_in.partition_point(|bp| bp.x <= t_shift) - 1;
+    let b0 = &bps_in[i0];
+    let mut bps = Vec::with_capacity(bps_in.len() - i0);
+    if b0.x == t_shift {
+        bps.push(Breakpoint {
+            x: Rat::ZERO,
+            v: b0.v,
+            v_right: b0.v_right,
+            slope: b0.slope,
+        });
+    } else {
+        // T is interior to b0's affine piece: continuous there.
+        let v = f.eval(t_shift);
+        bps.push(Breakpoint {
+            x: Rat::ZERO,
+            v,
+            v_right: v,
+            slope: b0.slope,
+        });
+    }
+    for bp in &bps_in[i0 + 1..] {
+        bps.push(Breakpoint {
+            x: bp.x - t_shift,
+            ..*bp
+        });
+    }
+    Curve::from_breakpoints_unchecked(bps)
+}
+
+/// Detects curves that are exactly a rate-latency `RL(R, T)` (including
+/// the pure rate `R·t` as `T = 0`), returning `(R, T)`.
+fn as_rate_latency(c: &Curve) -> Option<(Rat, Rat)> {
+    match c.breakpoints() {
+        [only] => {
+            if only.v == Value::ZERO && only.v_right == Value::ZERO && !only.slope.is_negative() {
+                Some((only.slope, Rat::ZERO))
+            } else {
+                None
+            }
+        }
+        [first, last] => {
+            let flat_start =
+                first.v == Value::ZERO && first.v_right == Value::ZERO && first.slope.is_zero();
+            if flat_start
+                && last.v == Value::ZERO
+                && last.v_right == Value::ZERO
+                && last.slope.is_positive()
+            {
+                Some((last.slope, last.x))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Closed form for concave `f ⊘ RL(R, T)`, `O(n)`.
+///
+/// With `h(u) = f(t + u) − R·[u − T]⁺`, the supremum grows while
+/// `f'(t + u) > R` and shrinks after, so it is pinned at the
+/// slope-crossing point `s* = inf { s : f'(s) ≤ R }` (independent of
+/// `t`; it exists because the overload check guarantees the ultimate
+/// slope of `f` is at most `R`):
+///
+/// * for `t ≥ s* − T` the optimum sits at `u = T`: value `f(t + T)`;
+/// * before that it sits at `t + u = s*`: the line
+///   `f(s*) − R·(s* − T − t)` of slope `R`.
+fn deconv_concave_rl(f: &Curve, r: Rat, t: Rat) -> Curve {
+    let bps_in = f.breakpoints();
+    // First breakpoint from which f's slope is ≤ R; concavity makes the
+    // slopes non-increasing, so the predicate is monotone.
+    let i_star = bps_in.partition_point(|bp| bp.slope > r);
+    debug_assert!(i_star < bps_in.len(), "overload check admits slope <= R");
+    let s_star = bps_in[i_star].x;
+
+    let mut bps = Vec::with_capacity(bps_in.len() - i_star + 1);
+    if s_star > t {
+        // Leading line of slope R up to t0 = s* − T, then f(t + T).
+        let t0 = s_star - t;
+        let at_star = bps_in[i_star].v;
+        let l0 = at_star - Value::finite(r * t0);
+        bps.push(Breakpoint {
+            x: Rat::ZERO,
+            v: l0,
+            v_right: l0,
+            slope: r,
+        });
+        bps.push(Breakpoint {
+            x: t0,
+            v: at_star,
+            v_right: at_star,
+            slope: bps_in[i_star].slope,
+        });
+        for bp in &bps_in[i_star + 1..] {
+            bps.push(Breakpoint { x: bp.x - t, ..*bp });
+        }
+        Curve::from_breakpoints_unchecked(bps)
+    } else {
+        // s* ≤ T: f(t + T) from the start; eval_right catches the
+        // burst when T = 0.
+        let i0 = bps_in.partition_point(|bp| bp.x <= t) - 1;
+        let v0 = f.eval_right(t);
+        bps.push(Breakpoint {
+            x: Rat::ZERO,
+            v: v0,
+            v_right: v0,
+            slope: bps_in[i0].slope,
+        });
+        for bp in &bps_in[i0 + 1..] {
+            bps.push(Breakpoint { x: bp.x - t, ..*bp });
+        }
+        Curve::from_breakpoints_unchecked(bps)
+    }
+}
+
 /// The curve that is `+∞` everywhere (diverged bound).
 pub fn infinite_curve() -> Curve {
     Curve::from_breakpoints_unchecked(vec![Breakpoint {
@@ -259,6 +428,14 @@ mod tests {
     }
     fn rl(r: i64, t: i64) -> Curve {
         shapes::rate_latency(Rat::int(r), Rat::int(t))
+    }
+
+    /// Every public entry point must agree with the reference oracle.
+    fn check_matches_general(f: &Curve, g: &Curve) -> Curve {
+        let fast = min_plus_deconv(f, g);
+        let general = min_plus_deconv_general(f, g);
+        assert_eq!(fast, general, "fast path disagrees with oracle");
+        fast
     }
 
     fn check_against_sampling(f: &Curve, g: &Curve, c: &Curve, t_max: i128, denom: i128) {
@@ -287,7 +464,7 @@ mod tests {
         // closed form quietly redefines the value at 0).
         let a = lb(2, 5);
         let b = rl(3, 4);
-        let out = min_plus_deconv(&a, &b);
+        let out = check_matches_general(&a, &b);
         assert_eq!(out.eval(Rat::ZERO), Value::from(13));
         let expect = lb(2, 5 + 2 * 4);
         for num in 1..40 {
@@ -303,7 +480,7 @@ mod tests {
         // (the paper's §3 overload discussion).
         let a = lb(5, 1);
         let b = rl(3, 1);
-        let out = min_plus_deconv(&a, &b);
+        let out = check_matches_general(&a, &b);
         assert_eq!(out.eval(Rat::ZERO), Value::Infinity);
         assert_eq!(out.eval(Rat::int(10)), Value::Infinity);
     }
@@ -313,7 +490,7 @@ mod tests {
         // R_α = R_β: finite bound with the full latency burst.
         let a = lb(3, 2);
         let b = rl(3, 4);
-        let out = min_plus_deconv(&a, &b);
+        let out = check_matches_general(&a, &b);
         assert_eq!(out.eval(Rat::ZERO), Value::from(14));
         let expect = lb(3, 2 + 3 * 4);
         for num in 1..30 {
@@ -327,14 +504,14 @@ mod tests {
     fn deconv_by_delta_shifts_left() {
         // f ⊘ δ_T = f(t + T).
         let f = rl(2, 3);
-        let out = min_plus_deconv(&f, &shapes::delta(Rat::int(1)));
+        let out = check_matches_general(&f, &shapes::delta(Rat::int(1)));
         assert_eq!(out, rl(2, 2));
     }
 
     #[test]
     fn delta_deconv_delta() {
         // δ_2 ⊘ δ_1 = δ_1.
-        let out = min_plus_deconv(&shapes::delta(Rat::int(2)), &shapes::delta(Rat::ONE));
+        let out = check_matches_general(&shapes::delta(Rat::int(2)), &shapes::delta(Rat::ONE));
         assert_eq!(out, shapes::delta(Rat::ONE));
     }
 
@@ -342,7 +519,7 @@ mod tests {
     fn deconv_self_is_subadditive_envelope() {
         // f ⊘ f for LB is LB itself (already subadditive).
         let a = lb(2, 5);
-        let out = min_plus_deconv(&a, &a);
+        let out = check_matches_general(&a, &a);
         assert_eq!(out, a);
     }
 
@@ -350,7 +527,7 @@ mod tests {
     fn deconv_concave_piecewise() {
         let a = lb(4, 1).min(&lb(2, 9)); // dual token bucket
         let b = rl(5, 2);
-        let out = min_plus_deconv(&a, &b);
+        let out = check_matches_general(&a, &b);
         assert!(out.is_wide_sense_increasing());
         check_against_sampling(&a, &b, &out, 10, 2);
     }
@@ -359,7 +536,7 @@ mod tests {
     fn deconv_staircase_arrival() {
         let s = shapes::truncated_staircase(Rat::int(2), Rat::ONE, 3);
         let b = rl(4, 1);
-        let out = min_plus_deconv(&s, &b);
+        let out = check_matches_general(&s, &b);
         assert!(out.is_wide_sense_increasing());
         check_against_sampling(&s, &b, &out, 8, 2);
     }

@@ -146,10 +146,7 @@ mod tests {
         // x ≤ b + R_α · T  for α = LB(R_α, b), β = RL(R_β, T), R_α ≤ R_β.
         let a = lb(2, 5);
         let b = rl(3, 4);
-        assert_eq!(
-            vertical_deviation(&a, &b),
-            Value::from(5 + 2 * 4)
-        );
+        assert_eq!(vertical_deviation(&a, &b), Value::from(5 + 2 * 4));
     }
 
     #[test]

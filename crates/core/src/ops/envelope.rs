@@ -231,11 +231,7 @@ mod tests {
         let env = lower_envelope(&lines, None);
         for num in 0..60 {
             let u = rat(num, 3);
-            let brute = lines
-                .iter()
-                .map(|l| l.v0 + l.slope * u)
-                .min()
-                .unwrap();
+            let brute = lines.iter().map(|l| l.v0 + l.slope * u).min().unwrap();
             assert_eq!(eval_pieces(&env, u), brute, "u = {u:?}");
         }
     }
@@ -246,11 +242,7 @@ mod tests {
         let env = upper_envelope(&lines, None);
         for num in 0..60 {
             let u = rat(num, 3);
-            let brute = lines
-                .iter()
-                .map(|l| l.v0 + l.slope * u)
-                .max()
-                .unwrap();
+            let brute = lines.iter().map(|l| l.v0 + l.slope * u).max().unwrap();
             assert_eq!(eval_pieces(&env, u), brute, "u = {u:?}");
         }
     }

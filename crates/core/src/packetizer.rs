@@ -36,12 +36,7 @@ pub fn packetize_max_service(gamma: &Curve) -> Curve {
 }
 
 /// All three §3 packetizer adjustments applied to a node's curve triple.
-pub fn packetize(
-    alpha: &Curve,
-    beta: &Curve,
-    gamma: &Curve,
-    l_max: Rat,
-) -> (Curve, Curve, Curve) {
+pub fn packetize(alpha: &Curve, beta: &Curve, gamma: &Curve, l_max: Rat) -> (Curve, Curve, Curve) {
     (
         packetize_arrival(alpha, l_max),
         packetize_service(beta, l_max),

@@ -9,6 +9,7 @@ use nc_core::num::{rat, Rat, Value};
 use nc_core::ops::maxplus::{max_plus_conv, max_plus_conv_at};
 use nc_core::ops::{conv_at, deconv_at, min_plus_conv, min_plus_deconv};
 use nc_core::ops::{horizontal_deviation, vertical_deviation};
+use nc_core::ops::{min_plus_conv_general, min_plus_deconv_general, subadditive_closure};
 use proptest::prelude::*;
 
 /// Strategy: a random wide-sense increasing, ultimately affine curve
@@ -282,6 +283,33 @@ proptest! {
         for bp in r.breakpoints() {
             prop_assert!(bp.x.denom() <= max_den as i128);
         }
+    }
+
+    #[test]
+    fn conv_fast_paths_equal_general(f in arb_curve(), g in arb_curve()) {
+        // The dispatcher (convex/concave closed forms, pruned grid)
+        // must be invisible: exact curve equality with the reference
+        // envelope algorithm kept as the oracle.
+        prop_assert_eq!(min_plus_conv(&f, &g), min_plus_conv_general(&f, &g));
+    }
+
+    #[test]
+    fn deconv_fast_paths_equal_general(f in arb_zero_curve(), g in arb_zero_curve()) {
+        prop_assert_eq!(min_plus_deconv(&f, &g), min_plus_deconv_general(&f, &g));
+    }
+
+    #[test]
+    fn closure_fast_path_equals_general_iteration(f in arb_zero_curve()) {
+        // Reference: the same fixpoint iteration driven by the general
+        // convolution, with no up-front sub-additivity shortcut.
+        let fast = subadditive_closure(&f, 8);
+        let mut acc = shapes::delta(Rat::ZERO).min(&f);
+        for _ in 0..8 {
+            let next = acc.min(&min_plus_conv_general(&acc, &acc));
+            if next == acc { break; }
+            acc = next;
+        }
+        prop_assert_eq!(fast.curve, acc);
     }
 
     #[test]

@@ -12,6 +12,21 @@ fn arb_nonzero_rat() -> impl Strategy<Value = Rat> {
     arb_rat().prop_filter("nonzero", |r| !r.is_zero())
 }
 
+/// Rationals whose components straddle the i64 boundary, so operations
+/// land on both sides of the fast-lane predicate (and right at its
+/// edge, where a wrong overflow analysis would show up).
+fn arb_boundary_rat() -> impl Strategy<Value = Rat> {
+    let m = i64::MAX as i128;
+    prop_oneof![
+        (-1000i128..=1000, 1i128..=200).prop_map(|(n, d)| Rat::new(n, d)),
+        (m - 1000..=m, 1i128..=200).prop_map(|(n, d)| Rat::new(n, d)),
+        (-m..=-m + 1000, 1i128..=200).prop_map(|(n, d)| Rat::new(n, d)),
+        (-1000i128..=1000, m - 1000..=m).prop_map(|(n, d)| Rat::new(n, d)),
+        // Wider than i64: always takes the checked reference lane.
+        (-1000i128..=1000, 1i128..=200).prop_map(move |(n, d)| Rat::new(n, d) * Rat::new(m, 7)),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -83,6 +98,26 @@ proptest! {
         let x = n as f64 / d as f64;
         let r = Rat::from_f64(x);
         prop_assert!((r.to_f64() - x).abs() <= 1e-9 * x.abs().max(1.0));
+    }
+
+    #[test]
+    fn fast_lane_equals_checked_reference(a in arb_boundary_rat(), b in arb_boundary_rat()) {
+        // The operators dispatch between an i64 fast lane and the
+        // checked i128 reference; both must produce identical,
+        // lowest-terms results wherever the reference is defined.
+        if let Some(s) = a.checked_add(b) {
+            prop_assert_eq!(a + b, s);
+            prop_assert_eq!(a - (-b), s);
+        }
+        if let Some(p) = a.checked_mul(b) {
+            prop_assert_eq!(a * b, p);
+            if !b.is_zero() {
+                prop_assert_eq!(p / b, a);
+            }
+        }
+        if let Some(d) = a.checked_add(-b) {
+            prop_assert_eq!(a.cmp(&b), d.signum().cmp(&0));
+        }
     }
 
     #[test]

@@ -38,9 +38,9 @@ pub mod resource;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Event, Sim};
+pub use engine::{Event, Sim, SimPool};
 pub use queue::ByteQueue;
-pub use resource::Resource;
 pub use random::Dist;
+pub use resource::Resource;
 pub use stats::{Counter, Tally, TimeWeighted};
 pub use time::{Span, Time};

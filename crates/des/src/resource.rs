@@ -40,7 +40,7 @@ use crate::engine::{Event, Sim};
 use crate::time::Span;
 
 /// A counting resource (see the module docs).
-pub struct Resource<S> {
+pub struct Resource<S: 'static> {
     capacity: usize,
     in_use: usize,
     waiters: VecDeque<Event<S>>,
@@ -48,7 +48,7 @@ pub struct Resource<S> {
     total_grants: u64,
 }
 
-impl<S> std::fmt::Debug for Resource<S> {
+impl<S: 'static> std::fmt::Debug for Resource<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Resource")
             .field("capacity", &self.capacity)
@@ -58,7 +58,7 @@ impl<S> std::fmt::Debug for Resource<S> {
     }
 }
 
-impl<S> Resource<S> {
+impl<S: 'static> Resource<S> {
     /// A resource with `capacity` slots.
     ///
     /// # Panics
@@ -98,7 +98,6 @@ impl<S> Resource<S> {
     pub fn total_grants(&self) -> u64 {
         self.total_grants
     }
-
 }
 
 impl<S: 'static> Resource<S> {
@@ -115,7 +114,7 @@ impl<S: 'static> Resource<S> {
             r.total_grants += 1;
             sim.schedule_in(Span::ZERO, granted);
         } else {
-            r.waiters.push_back(Box::new(granted));
+            r.waiters.push_back(Event::new(granted));
             r.peak_queue = r.peak_queue.max(r.waiters.len());
         }
     }
@@ -130,7 +129,7 @@ impl<S: 'static> Resource<S> {
         if let Some(next) = r.waiters.pop_front() {
             // The slot transfers directly to the next waiter.
             r.total_grants += 1;
-            sim.schedule_in(Span::ZERO, next);
+            sim.schedule_event_in(Span::ZERO, next);
         } else {
             r.in_use -= 1;
         }
@@ -170,10 +169,7 @@ mod tests {
             sim.schedule_at(Time::ZERO, move |sim| job(sim, id, 2.0));
         }
         sim.run();
-        assert_eq!(
-            sim.state.log,
-            vec![(0, 0.0), (1, 2.0), (2, 4.0), (3, 6.0)]
-        );
+        assert_eq!(sim.state.log, vec![(0, 0.0), (1, 2.0), (2, 4.0), (3, 6.0)]);
         assert_eq!(sim.state.res.total_grants(), 4);
         assert_eq!(sim.state.res.peak_queue(), 3);
         assert_eq!(sim.state.res.in_use(), 0);

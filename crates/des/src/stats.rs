@@ -214,7 +214,7 @@ mod tests {
         tw.set(Time::secs(1.0), 10.0); // level 0 on [0,1)
         tw.set(Time::secs(3.0), 4.0); // level 10 on [1,3)
         tw.add(Time::secs(4.0), -4.0); // level 4 on [3,4), then 0
-        // Integral: 0·1 + 10·2 + 4·1 = 24; over 5 s → 4.8.
+                                       // Integral: 0·1 + 10·2 + 4·1 = 24; over 5 s → 4.8.
         assert!((tw.time_avg(Time::secs(5.0)) - 24.0 / 5.0).abs() < 1e-12);
         assert_eq!(tw.max(), 10.0);
         assert_eq!(tw.level(), 0.0);

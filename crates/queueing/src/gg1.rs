@@ -133,7 +133,10 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert_eq!(Gg1::new(5.0, 0.2, 1.0, 1.0).unwrap_err(), QueueError::Unstable);
+        assert_eq!(
+            Gg1::new(5.0, 0.2, 1.0, 1.0).unwrap_err(),
+            QueueError::Unstable
+        );
         assert_eq!(
             Gg1::new(1.0, 0.2, -0.1, 1.0).unwrap_err(),
             QueueError::BadParameters

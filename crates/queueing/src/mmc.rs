@@ -102,7 +102,10 @@ mod tests {
     fn stability_boundary() {
         assert_eq!(Mmc::new(4.0, 2.0, 2).unwrap_err(), QueueError::Unstable);
         assert!(Mmc::new(3.9, 2.0, 2).is_ok());
-        assert_eq!(Mmc::new(1.0, 1.0, 0).unwrap_err(), QueueError::BadParameters);
+        assert_eq!(
+            Mmc::new(1.0, 1.0, 0).unwrap_err(),
+            QueueError::BadParameters
+        );
     }
 
     #[test]

@@ -129,7 +129,11 @@ mod tests {
     fn roofline_finds_bottleneck() {
         let a = analyze_tandem(
             1000.0,
-            &[stage("fast", 5000.0), stage("slow", 600.0), stage("mid", 2000.0)],
+            &[
+                stage("fast", 5000.0),
+                stage("slow", 600.0),
+                stage("mid", 2000.0),
+            ],
             100.0,
         )
         .unwrap();
@@ -156,12 +160,7 @@ mod tests {
 
     #[test]
     fn tandem_sojourn_adds_up() {
-        let a = analyze_tandem(
-            100.0,
-            &[stage("a", 200.0), stage("b", 300.0)],
-            10.0,
-        )
-        .unwrap();
+        let a = analyze_tandem(100.0, &[stage("a", 200.0), stage("b", 300.0)], 10.0).unwrap();
         // Jackson: W = 1/(20−10) + 1/(30−10) = 0.15 (in job-time units).
         assert!((a.total_sojourn.unwrap() - 0.15).abs() < 1e-12);
         // L = λW.

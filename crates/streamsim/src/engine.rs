@@ -18,7 +18,7 @@
 //! with the network-calculus model and the paper's tables.
 
 use nc_core::pipeline::Pipeline;
-use nc_des::{ByteQueue, Dist, Sim, Span, Tally, Time, TimeWeighted};
+use nc_des::{ByteQueue, Dist, Sim, SimPool, Span, Tally, Time, TimeWeighted};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -54,6 +54,9 @@ struct World {
     delays: Tally,
     /// (t, cum_in) steps — always kept for delay lookups.
     input_steps: Vec<(f64, f64)>,
+    /// Delay-lookup cursor into `input_steps`: the virtual-delay level
+    /// is non-decreasing, so each lookup resumes where the last ended.
+    delay_cursor: usize,
     trace: bool,
     trace_out: Vec<(f64, f64)>,
     t_last_out: f64,
@@ -67,22 +70,41 @@ impl World {
 
 type S = World;
 
+/// Reusable simulation storage for Monte-Carlo replication.
+///
+/// One replication's event calendar is handed to the next, so a driver
+/// looping [`simulate_in`] over seeds stops allocating once the first
+/// run has grown the calendar to the workload's high-water mark.
+#[derive(Default)]
+pub struct SimArena {
+    pool: SimPool<World>,
+}
+
+impl SimArena {
+    /// An empty arena.
+    pub fn new() -> SimArena {
+        SimArena::default()
+    }
+}
+
 /// Run the paper's discrete-event simulation of `pipeline`.
 ///
 /// # Panics
 /// Panics if the pipeline is invalid (see
 /// [`Pipeline::validate`]) or the configuration is inconsistent.
 pub fn simulate(pipeline: &Pipeline, config: &SimConfig) -> SimResult {
+    simulate_in(&mut SimArena::new(), pipeline, config)
+}
+
+/// As [`simulate`], reusing `arena`'s calendar storage across calls.
+pub fn simulate_in(arena: &mut SimArena, pipeline: &Pipeline, config: &SimConfig) -> SimResult {
     pipeline
         .validate()
         .unwrap_or_else(|e| panic!("simulate: invalid pipeline: {e}"));
     let params = derive_params(pipeline);
     let n = params.len();
 
-    let src_chunk = config
-        .source_chunk
-        .unwrap_or(params[0].job_in)
-        .max(1);
+    let src_chunk = config.source_chunk.unwrap_or(params[0].job_in).max(1);
     let src_rate = pipeline.source.rate.to_f64();
     assert!(src_rate > 0.0);
     let sink_norm = {
@@ -150,12 +172,13 @@ pub fn simulate(pipeline: &Pipeline, config: &SimConfig) -> SimResult {
         in_system: TimeWeighted::new(Time::ZERO, 0.0),
         delays: Tally::new(),
         input_steps: Vec::new(),
+        delay_cursor: 0,
         trace: config.trace,
         trace_out: Vec::new(),
         t_last_out: 0.0,
     };
 
-    let mut sim = Sim::new(world);
+    let mut sim = arena.pool.take(world);
     sim.schedule_at(Time::ZERO, source_emit);
     sim.run();
 
@@ -192,7 +215,7 @@ pub fn simulate(pipeline: &Pipeline, config: &SimConfig) -> SimResult {
     } else {
         0.0
     };
-    SimResult {
+    let result = SimResult {
         bytes_out,
         makespan,
         throughput,
@@ -211,7 +234,9 @@ pub fn simulate(pipeline: &Pipeline, config: &SimConfig) -> SimResult {
         trace_out: w.trace_out.clone(),
         per_node,
         events: sim.events_processed(),
-    }
+    };
+    arena.pool.put(sim);
+    result
 }
 
 /// Source event: emit one chunk into the first queue (or block on a
@@ -238,74 +263,89 @@ fn source_emit(sim: &mut Sim<S>) {
         let dt = Span::secs(sim.state.src_interval);
         sim.schedule_in(dt, source_emit);
     }
-    pump(sim);
+    try_start(sim, 0);
 }
 
-/// Fixpoint driver: deliver pending outputs, start idle nodes, resume a
-/// blocked source — repeat until nothing changes. Keeping this logic in
-/// one place makes the backpressure protocol obviously deadlock-free:
-/// every byte movement re-enables every consumer it could unblock.
-fn pump(sim: &mut Sim<S>) {
+// The wake protocol. The seed simulator re-ran a full O(n) fixpoint
+// scan (deliver / start / resume-source until nothing changed) on every
+// event; at BITW scale that scan dominated per-event cost. These
+// targeted wakes reach the same fixpoint by re-examining exactly the
+// nodes whose enabling conditions the event could have flipped:
+//
+//   * queue `i` gained bytes, or `pending_out[i]` cleared → `try_start(i)`
+//   * node `i` went idle with output, or queue `i+1` freed → `try_deliver(i)`
+//   * queue 0 freed space → `resume_source`
+//
+// Deadlock-freedom is preserved because every byte movement still wakes
+// every consumer it could unblock — the wakes are just routed instead
+// of rediscovered by scanning. The invariant between events is
+// unchanged: no delivery, start, or source resume is possible.
+
+/// Start node `i` if it is idle, unblocked, and has a full job queued.
+/// A successful start frees input-queue space, which may unblock the
+/// upstream delivery (or the stalled source when `i == 0`).
+fn try_start(sim: &mut Sim<S>, i: usize) {
     let now = sim.now();
-    loop {
-        let mut progress = false;
-        let n = sim.state.n();
+    let w = &mut sim.state;
+    let p = &w.params[i];
+    if w.busy[i] || w.pending_out[i].is_some() || !w.queues[i].can_get(p.job_in) {
+        return;
+    }
+    w.queues[i].get(now, p.job_in);
+    w.busy[i] = true;
+    let startup = if w.started[i] {
+        0.0
+    } else {
+        w.started[i] = true;
+        p.startup
+    };
+    let dist = match w.service_model {
+        ServiceModel::Uniform => Dist::Uniform {
+            lo: p.exec_min,
+            hi: p.exec_max,
+        },
+        ServiceModel::Exponential => Dist::Exponential { mean: p.exec_avg },
+        ServiceModel::Deterministic => Dist::Constant(p.exec_avg),
+    };
+    let exec = dist.sample(&mut w.rng);
+    w.busy_time[i] += exec;
+    sim.schedule_in(Span::secs(startup + exec), move |sim| finish(sim, i));
+    if i == 0 {
+        resume_source(sim);
+    } else {
+        try_deliver(sim, i - 1);
+    }
+}
 
-        // Deliveries (downstream first so space opens up within one pass).
-        for i in (0..n).rev() {
-            if let Some(bytes) = sim.state.pending_out[i] {
-                if i + 1 == n {
-                    deliver_to_sink(sim, bytes);
-                    sim.state.pending_out[i] = None;
-                    progress = true;
-                } else if sim.state.queues[i + 1].can_put(bytes) {
-                    sim.state.queues[i + 1].put(now, bytes);
-                    sim.state.pending_out[i] = None;
-                    progress = true;
-                }
-            }
-        }
+/// Deliver node `i`'s pending output downstream (or to the sink) if
+/// space allows, then wake the two nodes the movement affects: `i`
+/// (its output slot cleared) and `i + 1` (new input) — in that order,
+/// matching the full scan's ascending start order at each wake.
+/// Events landing on the exact same timestamp may still interleave
+/// differently than a global rescan would; all observables stay within
+/// the tolerance/containment bounds the tests assert.
+fn try_deliver(sim: &mut Sim<S>, i: usize) {
+    let Some(bytes) = sim.state.pending_out[i] else {
+        return;
+    };
+    if i + 1 == sim.state.n() {
+        deliver_to_sink(sim, bytes);
+        sim.state.pending_out[i] = None;
+        try_start(sim, i);
+    } else if sim.state.queues[i + 1].can_put(bytes) {
+        let now = sim.now();
+        sim.state.queues[i + 1].put(now, bytes);
+        sim.state.pending_out[i] = None;
+        try_start(sim, i);
+        try_start(sim, i + 1);
+    }
+}
 
-        // Job initiations.
-        for i in 0..n {
-            let w = &mut sim.state;
-            let p = &w.params[i];
-            let can_start =
-                !w.busy[i] && w.pending_out[i].is_none() && w.queues[i].can_get(p.job_in);
-            if can_start {
-                w.queues[i].get(now, p.job_in);
-                w.busy[i] = true;
-                let startup = if w.started[i] {
-                    0.0
-                } else {
-                    w.started[i] = true;
-                    p.startup
-                };
-                let dist = match w.service_model {
-                    ServiceModel::Uniform => Dist::Uniform {
-                        lo: p.exec_min,
-                        hi: p.exec_max,
-                    },
-                    ServiceModel::Exponential => Dist::Exponential { mean: p.exec_avg },
-                    ServiceModel::Deterministic => Dist::Constant(p.exec_avg),
-                };
-                let exec = dist.sample(&mut w.rng);
-                w.busy_time[i] += exec;
-                sim.schedule_in(Span::secs(startup + exec), move |sim| finish(sim, i));
-                progress = true;
-            }
-        }
-
-        // Source resume.
-        if sim.state.src_blocked && sim.state.queues[0].can_put(sim.state.src_chunk) {
-            sim.state.src_blocked = false;
-            progress = true;
-            source_emit(sim);
-        }
-
-        if !progress {
-            break;
-        }
+/// Restart a source stalled on a full first queue once space appears.
+fn resume_source(sim: &mut Sim<S>) {
+    if sim.state.src_blocked && sim.state.queues[0].can_put(sim.state.src_chunk) {
+        sim.state.src_blocked = false;
+        source_emit(sim);
     }
 }
 
@@ -316,7 +356,7 @@ fn finish(sim: &mut Sim<S>, i: usize) {
     sim.state.busy[i] = false;
     sim.state.jobs_done[i] += 1;
     sim.state.pending_out[i] = Some(sim.state.params[i].job_out);
-    pump(sim);
+    try_deliver(sim, i);
 }
 
 /// Final-stage output reaches the sink: record throughput, delay, and
@@ -330,8 +370,15 @@ fn deliver_to_sink(sim: &mut Sim<S>, local_bytes: u64) {
     w.t_last_out = now.as_secs();
 
     // Virtual delay: when did this cumulative level enter the system?
+    // The level only ever grows, so the stairstep inverse lookup is a
+    // cursor that advances monotonically through `input_steps`.
     let level = w.cum_out.min(w.cum_in);
-    let t_in = input_time_for_level(&w.input_steps, level);
+    debug_assert!(!w.input_steps.is_empty());
+    while w.delay_cursor + 1 < w.input_steps.len() && w.input_steps[w.delay_cursor].1 < level - 1e-9
+    {
+        w.delay_cursor += 1;
+    }
+    let t_in = w.input_steps[w.delay_cursor].0;
     w.delays.record((now.as_secs() - t_in).max(0.0));
 
     if w.trace {
@@ -356,24 +403,6 @@ fn steady_slope(trace: &[(f64, f64)]) -> Option<f64> {
     Some((hi.1 - lo.1) / dt)
 }
 
-/// Earliest time the cumulative input reached `level` (stairstep
-/// inverse lookup via binary search).
-fn input_time_for_level(steps: &[(f64, f64)], level: f64) -> f64 {
-    debug_assert!(!steps.is_empty());
-    // First step whose cumulative value is >= level.
-    let mut lo = 0usize;
-    let mut hi = steps.len();
-    while lo < hi {
-        let mid = (lo + hi) / 2;
-        if steps[mid].1 >= level - 1e-9 {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    steps[lo.min(steps.len() - 1)].0
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,11 +413,7 @@ mod tests {
         Node::new(
             name,
             NodeKind::Compute,
-            StageRates::new(
-                Rat::int(rmin),
-                Rat::int((rmin + rmax) / 2),
-                Rat::int(rmax),
-            ),
+            StageRates::new(Rat::int(rmin), Rat::int((rmin + rmax) / 2), Rat::int(rmax)),
             Rat::ZERO,
             Rat::int(jin),
             Rat::int(jout),
@@ -457,7 +482,10 @@ mod tests {
         // 4:1 then 1:4 — normalized output equals input.
         let p = pipeline(
             1000,
-            vec![node("pack", 800, 800, 64, 16), node("unpack", 800, 800, 16, 64)],
+            vec![
+                node("pack", 800, 800, 64, 16),
+                node("unpack", 800, 800, 16, 64),
+            ],
         );
         let r = simulate(&p, &cfg(64 * 50));
         assert!((r.bytes_out - 3200.0).abs() < 1e-6, "out {}", r.bytes_out);
@@ -489,7 +517,10 @@ mod tests {
     fn bounded_queues_backpressure_without_loss() {
         let p = pipeline(
             2000,
-            vec![node("a", 1000, 1000, 64, 64), node("slow", 250, 250, 64, 64)],
+            vec![
+                node("a", 1000, 1000, 64, 64),
+                node("slow", 250, 250, 64, 64),
+            ],
         );
         let mut c = cfg(64 * 60);
         c.queue_capacity = Some(256);
@@ -517,6 +548,28 @@ mod tests {
         c3.seed = 999;
         let r3 = simulate(&p, &c3);
         assert_ne!(r1.delay_max, r3.delay_max);
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical() {
+        // Pooled replication must not leak any state between runs: a
+        // shared arena reproduces the fresh-sim results exactly.
+        let p = pipeline(
+            800,
+            vec![node("a", 600, 900, 64, 64), node("b", 500, 700, 64, 64)],
+        );
+        let mut arena = SimArena::new();
+        for seed in [1u64, 7, 42] {
+            let mut c = cfg(64 * 40);
+            c.seed = seed;
+            let fresh = simulate(&p, &c);
+            let pooled = simulate_in(&mut arena, &p, &c);
+            assert_eq!(fresh.throughput, pooled.throughput);
+            assert_eq!(fresh.delay_max, pooled.delay_max);
+            assert_eq!(fresh.peak_backlog, pooled.peak_backlog);
+            assert_eq!(fresh.events, pooled.events);
+            assert_eq!(fresh.trace_out, pooled.trace_out);
+        }
     }
 
     #[test]
@@ -550,7 +603,10 @@ mod tests {
     fn per_node_stats_identify_bottleneck() {
         let p = pipeline(
             2000,
-            vec![node("fast", 1500, 1500, 64, 64), node("slow", 300, 300, 64, 64)],
+            vec![
+                node("fast", 1500, 1500, 64, 64),
+                node("slow", 300, 300, 64, 64),
+            ],
         );
         let r = simulate(&p, &cfg(64 * 100));
         assert_eq!(r.per_node.len(), 2);

@@ -43,5 +43,5 @@ mod engine;
 mod result;
 
 pub use config::{ServiceModel, SimConfig};
-pub use engine::simulate;
+pub use engine::{simulate, simulate_in, SimArena};
 pub use result::{NodeStats, SimResult};

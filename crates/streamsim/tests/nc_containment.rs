@@ -44,20 +44,15 @@ struct NodeGen {
 }
 
 fn arb_pipeline() -> impl Strategy<Value = (Pipeline, u64)> {
-    let node = (
-        2_000i64..20_000,
-        0i64..5_000,
-        4u32..8,
-        4u32..8,
-        0i64..20,
-    )
-        .prop_map(|(rmin, spread, ji, jo, lat)| NodeGen {
+    let node = (2_000i64..20_000, 0i64..5_000, 4u32..8, 4u32..8, 0i64..20).prop_map(
+        |(rmin, spread, ji, jo, lat)| NodeGen {
             rmin,
             spread,
             job_in_log2: ji,
             job_out_log2: jo,
             latency_ms: lat,
-        });
+        },
+    );
     (
         proptest::collection::vec(node, 1..4),
         500i64..1_500, // source rate, below every stage's min rate after norm

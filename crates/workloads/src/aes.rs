@@ -233,7 +233,10 @@ impl std::error::Error for CbcError {}
 /// Encrypt a raw multiple-of-16 buffer in CBC mode (no padding); used
 /// directly by the known-answer tests and the streaming kernel.
 pub fn cbc_encrypt_raw(aes: &Aes256, iv: &[u8; 16], data: &mut [u8]) {
-    assert!(data.len().is_multiple_of(16), "cbc_encrypt_raw needs 16-byte blocks");
+    assert!(
+        data.len().is_multiple_of(16),
+        "cbc_encrypt_raw needs 16-byte blocks"
+    );
     let mut prev = *iv;
     for block in data.chunks_exact_mut(16) {
         for i in 0..16 {
@@ -341,14 +344,8 @@ mod tests {
         let mut data = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
         let aes = Aes256::new(&key);
         cbc_encrypt_raw(&aes, &iv, &mut data);
-        assert_eq!(
-            data[..16].to_vec(),
-            hex("f58c4c04d6e5f1ba779eabfb5f7bfbd6")
-        );
-        assert_eq!(
-            data[16..].to_vec(),
-            hex("9cfc4e967edb808d679f777bc6702c7d")
-        );
+        assert_eq!(data[..16].to_vec(), hex("f58c4c04d6e5f1ba779eabfb5f7bfbd6"));
+        assert_eq!(data[16..].to_vec(), hex("9cfc4e967edb808d679f777bc6702c7d"));
         cbc_decrypt_raw(&aes, &iv, &mut data).unwrap();
         assert_eq!(
             data,
@@ -375,7 +372,10 @@ mod tests {
     fn cbc_rejects_malformed() {
         let aes = Aes256::new(&[1u8; 32]);
         let iv = [0u8; 16];
-        assert_eq!(cbc_decrypt(&aes, &iv, &[]).unwrap_err(), CbcError::BadLength);
+        assert_eq!(
+            cbc_decrypt(&aes, &iv, &[]).unwrap_err(),
+            CbcError::BadLength
+        );
         assert_eq!(
             cbc_decrypt(&aes, &iv, &[0u8; 15]).unwrap_err(),
             CbcError::BadLength

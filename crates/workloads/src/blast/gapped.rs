@@ -81,10 +81,22 @@ fn extend_dir(
                 // they never improve a local extension — skip.
                 continue;
             };
-            let sub = if a == b { p.match_score } else { p.mismatch_score };
+            let sub = if a == b {
+                p.match_score
+            } else {
+                p.mismatch_score
+            };
             let diag = prev[k] + sub;
-            let up = if k + 1 < width { prev[k + 1] + p.gap_score } else { NEG };
-            let left = if k >= 1 { cur[k - 1] + p.gap_score } else { NEG };
+            let up = if k + 1 < width {
+                prev[k + 1] + p.gap_score
+            } else {
+                NEG
+            };
+            let left = if k >= 1 {
+                cur[k - 1] + p.gap_score
+            } else {
+                NEG
+            };
             let val = diag.max(up).max(left);
             cur[k] = val;
             row_best = row_best.max(val);
@@ -167,9 +179,21 @@ mod tests {
         let qp = fa2bit(&query);
         let dbp = fa2bit(&db);
         let cands = [ext(100, 50, 8), ext(200, 120, 8)];
-        let out = gapped_extension(&dbp, db.len(), &qp, query.len(), &cands, &GappedParams::default());
+        let out = gapped_extension(
+            &dbp,
+            db.len(),
+            &qp,
+            query.len(),
+            &cands,
+            &GappedParams::default(),
+        );
         for g in &out {
-            assert!(g.score >= g.from.score, "gapped {} < ungapped {}", g.score, g.from.score);
+            assert!(
+                g.score >= g.from.score,
+                "gapped {} < ungapped {}",
+                g.score,
+                g.from.score
+            );
         }
     }
 
@@ -187,7 +211,14 @@ mod tests {
         let dbp = fa2bit(&db);
         // Seed inside the first aligned region (byte-aligned at 16).
         let cand = ext(16, 16, 8);
-        let gapped = gapped_extension(&dbp, db.len(), &qp, query.len(), &[cand], &GappedParams::default());
+        let gapped = gapped_extension(
+            &dbp,
+            db.len(),
+            &qp,
+            query.len(),
+            &[cand],
+            &GappedParams::default(),
+        );
         let ungapped_only = super::super::stages::ungapped_extension(
             &dbp,
             db.len(),
@@ -216,7 +247,14 @@ mod tests {
         let packed = fa2bit(&seq);
         // Self-alignment seeded mid-sequence: both flanks fully match.
         let cand = ext(100, 100, 8);
-        let out = gapped_extension(&packed, seq.len(), &packed, seq.len(), &[cand], &GappedParams::default());
+        let out = gapped_extension(
+            &packed,
+            seq.len(),
+            &packed,
+            seq.len(),
+            &[cand],
+            &GappedParams::default(),
+        );
         // Left flank ≈ 100 matches, right ≈ 92 (window-capped at 256).
         assert!(out[0].score >= 8 + 180, "score {}", out[0].score);
     }

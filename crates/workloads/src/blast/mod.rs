@@ -8,7 +8,10 @@ pub mod stages;
 
 pub use gapped::{gapped_extension, GappedAlignment, GappedParams};
 pub use index::{kmer_code, QueryIndex, NUM_KMERS, SEED_LEN};
-pub use pipeline::{blast_search, blast_search_both_strands, dedup_by_diagonal, BlastResult, StageStats, Strand, StrandHit};
+pub use pipeline::{
+    blast_search, blast_search_both_strands, dedup_by_diagonal, BlastResult, StageStats, Strand,
+    StrandHit,
+};
 pub use stages::{
     seed_enumeration, seed_match, small_extension, ungapped_extension, Extension, SeedMatch,
     UngappedParams,

@@ -235,15 +235,11 @@ mod tests {
         query[64..160].copy_from_slice(&region);
         let rc = crate::fasta::reverse_complement(&region);
         db[4096..4192].copy_from_slice(&rc);
-        let (hits, [plus, minus]) = blast_search_both_strands(
-            &query,
-            &db,
-            &UngappedParams::default(),
-        );
+        let (hits, [plus, minus]) =
+            blast_search_both_strands(&query, &db, &UngappedParams::default());
         assert!(
-            hits.iter()
-                .any(|h| h.strand == Strand::Minus
-                    && (4090..4192).contains(&(h.alignment.seed.p as usize))),
+            hits.iter().any(|h| h.strand == Strand::Minus
+                && (4090..4192).contains(&(h.alignment.seed.p as usize))),
             "minus-strand hit missing: {hits:?}"
         );
         // The plus strand alone misses it.

@@ -57,20 +57,11 @@ pub fn seed_match(db_packed: &[u8], db_len: usize, index: &QueryIndex) -> Vec<u3
 /// `(p, q)` pairs by re-reading the 8-mer from the database and listing
 /// its query positions. "This stage produces on average 1–2 matches per
 /// input position" for non-repetitive queries.
-pub fn seed_enumeration(
-    db_packed: &[u8],
-    hits: &[u32],
-    index: &QueryIndex,
-) -> Vec<SeedMatch> {
+pub fn seed_enumeration(db_packed: &[u8], hits: &[u32], index: &QueryIndex) -> Vec<SeedMatch> {
     let mut out = Vec::with_capacity(hits.len() * 2);
     for &p in hits {
         let code = kmer_code(db_packed, p as usize);
-        out.extend(
-            index
-                .positions(code)
-                .iter()
-                .map(|&q| SeedMatch { p, q }),
-        );
+        out.extend(index.positions(code).iter().map(|&q| SeedMatch { p, q }));
     }
     out
 }

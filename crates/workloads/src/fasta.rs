@@ -180,8 +180,10 @@ mod tests {
         let doc = to_fasta_multi(&records);
         assert_eq!(parse_fasta_multi(&doc), records);
         // Stray prefix junk before the first record is ignored.
-        let with_junk = format!("; comment
-{doc}");
+        let with_junk = format!(
+            "; comment
+{doc}"
+        );
         assert_eq!(parse_fasta_multi(&with_junk), records);
         assert!(parse_fasta_multi("").is_empty());
     }

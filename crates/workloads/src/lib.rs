@@ -28,8 +28,8 @@ pub mod fasta;
 pub mod link;
 pub mod lz4;
 pub mod lz4frame;
-pub mod xxhash;
 pub mod measure;
+pub mod xxhash;
 
 pub use link::LinkModel;
 pub use measure::{measure_repeated, measure_stage, StageMeasurement};

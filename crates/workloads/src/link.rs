@@ -87,8 +87,7 @@ impl LinkModel {
 
     /// Asymptotic payload efficiency (0, 1].
     pub fn efficiency(&self) -> f64 {
-        self.payload_per_packet as f64
-            / (self.payload_per_packet + self.overhead_per_packet) as f64
+        self.payload_per_packet as f64 / (self.payload_per_packet + self.overhead_per_packet) as f64
     }
 
     /// Asymptotic effective rate, bytes/s.

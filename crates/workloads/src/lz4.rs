@@ -224,10 +224,7 @@ pub fn compress_chunked(input: &[u8], chunk_size: usize) -> (Vec<Vec<u8>>, f64) 
 }
 
 /// Decompress chunked blocks produced by [`compress_chunked`].
-pub fn decompress_chunked(
-    blocks: &[Vec<u8>],
-    chunk_size: usize,
-) -> Result<Vec<u8>, Lz4Error> {
+pub fn decompress_chunked(blocks: &[Vec<u8>], chunk_size: usize) -> Result<Vec<u8>, Lz4Error> {
     let mut out = Vec::new();
     for b in blocks {
         out.extend(decompress(b, chunk_size)?);
@@ -341,10 +338,7 @@ mod tests {
     fn decompress_respects_output_limit() {
         let data = vec![0x42u8; 100_000];
         let c = compress(&data);
-        assert_eq!(
-            decompress(&c, 1000).unwrap_err(),
-            Lz4Error::OutputTooLarge
-        );
+        assert_eq!(decompress(&c, 1000).unwrap_err(), Lz4Error::OutputTooLarge);
         assert!(decompress(&c, 100_000).is_ok());
     }
 

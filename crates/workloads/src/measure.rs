@@ -47,7 +47,10 @@ where
     F: FnMut(&[u8]) -> R,
 {
     assert!(!chunks.is_empty(), "need at least one chunk");
-    assert!(chunks.iter().all(|c| !c.is_empty()), "chunks must be non-empty");
+    assert!(
+        chunks.iter().all(|c| !c.is_empty()),
+        "chunks must be non-empty"
+    );
 
     for w in 0..warmup {
         std::hint::black_box(kernel(chunks[w % chunks.len()]));
@@ -74,7 +77,12 @@ where
 }
 
 /// Convenience: measure over `reps` repetitions of a single buffer.
-pub fn measure_repeated<F, R>(data: &[u8], reps: usize, warmup: usize, kernel: F) -> StageMeasurement
+pub fn measure_repeated<F, R>(
+    data: &[u8],
+    reps: usize,
+    warmup: usize,
+    kernel: F,
+) -> StageMeasurement
 where
     F: FnMut(&[u8]) -> R,
 {
@@ -90,9 +98,7 @@ mod tests {
     #[test]
     fn ordering_invariant() {
         let data = vec![0xABu8; 1 << 16];
-        let m = measure_repeated(&data, 8, 2, |c| {
-            c.iter().map(|&b| b as u64).sum::<u64>()
-        });
+        let m = measure_repeated(&data, 8, 2, |c| c.iter().map(|&b| b as u64).sum::<u64>());
         assert!(m.min <= m.avg + 1e-9);
         assert!(m.avg <= m.max + 1e-9);
         assert!(m.min > 0.0);

@@ -111,6 +111,9 @@ fn main() {
     println!("  half-size buffers: {thr_halved:.1} MiB/s");
 
     // NC-sized buffers sacrifice < 2% throughput vs unbounded.
-    assert!(thr_sized > 0.98 * thr_unbounded, "NC sizing lost throughput");
+    assert!(
+        thr_sized > 0.98 * thr_unbounded,
+        "NC sizing lost throughput"
+    );
     println!("\nNC-sized buffers preserve throughput (within 2%): OK");
 }

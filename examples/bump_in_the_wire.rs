@@ -10,7 +10,7 @@ use streamcalc::core::num::Rat;
 use streamcalc::core::pipeline::{Node, NodeKind, Pipeline, StageRates};
 use streamcalc::core::units::{fmt_bytes, fmt_time, gib_per_s};
 use streamcalc::core::Value;
-use streamcalc::workloads::aes::{cbc_encrypt, cbc_decrypt, Aes256};
+use streamcalc::workloads::aes::{cbc_decrypt, cbc_encrypt, Aes256};
 use streamcalc::workloads::lz4;
 
 fn main() {
@@ -24,10 +24,7 @@ fn main() {
     let (blocks, ratio) = lz4::compress_chunked(&payload, 64 << 10);
     let aes = Aes256::new(&[9u8; 32]);
     let iv = [3u8; 16];
-    let encrypted: Vec<Vec<u8>> = blocks
-        .iter()
-        .map(|b| cbc_encrypt(&aes, &iv, b))
-        .collect();
+    let encrypted: Vec<Vec<u8>> = blocks.iter().map(|b| cbc_encrypt(&aes, &iv, b)).collect();
     // ... network ... then the receive side:
     let decrypted: Vec<Vec<u8>> = encrypted
         .iter()
@@ -43,7 +40,10 @@ fn main() {
     let repro = bitw::reproduce(42);
     println!(
         "{}",
-        format_table("Table 3: bump-in-the-wire throughput (ours vs paper)", &repro.table3)
+        format_table(
+            "Table 3: bump-in-the-wire throughput (ours vs paper)",
+            &repro.table3
+        )
     );
     println!(
         "delay bound d = {} (paper 38 us), backlog bound x = {} (paper 3 KiB)",

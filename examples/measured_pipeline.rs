@@ -21,8 +21,8 @@ use streamcalc::core::units::{fmt_bytes, fmt_rate, fmt_time};
 use streamcalc::core::Value;
 use streamcalc::streamsim::{simulate, SimConfig};
 use streamcalc::workloads::aes::{cbc_decrypt_raw, cbc_encrypt_raw, Aes256};
-use streamcalc::workloads::measure::{measure_repeated, StageMeasurement};
 use streamcalc::workloads::lz4;
+use streamcalc::workloads::measure::{measure_repeated, StageMeasurement};
 
 const CHUNK: usize = 256 << 10;
 
@@ -63,7 +63,10 @@ fn stage_node(name: &str, m: &StageMeasurement, job: i64) -> Node {
 
 fn main() {
     // ---- 1. Measure (the Table 2 step) -----------------------------
-    println!("measuring kernels in isolation ({} KiB chunks)...", CHUNK >> 10);
+    println!(
+        "measuring kernels in isolation ({} KiB chunks)...",
+        CHUNK >> 10
+    );
     let data = text_like(CHUNK);
     let m_compress = measure_repeated(&data, 12, 3, |c| lz4::compress(c).len());
 
@@ -99,9 +102,14 @@ fn main() {
     // ---- 2. Model ---------------------------------------------------
     // Offered load: 60% of the measured bottleneck min rate, so the
     // system is provably underloaded and the bounds are exact.
-    let bottleneck_min = [m_compress.min, m_encrypt.min, m_decrypt.min, m_decompress.min]
-        .into_iter()
-        .fold(f64::INFINITY, f64::min);
+    let bottleneck_min = [
+        m_compress.min,
+        m_encrypt.min,
+        m_decrypt.min,
+        m_decompress.min,
+    ]
+    .into_iter()
+    .fold(f64::INFINITY, f64::min);
     let offered = 0.6 * bottleneck_min;
     let job = CHUNK as i64;
     let pipeline = Pipeline::new(
@@ -141,14 +149,20 @@ fn main() {
             ..SimConfig::default()
         },
     );
-    println!("\nsimulation (256 MiB at {:.0} MiB/s offered):", offered / 1048576.0);
+    println!(
+        "\nsimulation (256 MiB at {:.0} MiB/s offered):",
+        offered / 1048576.0
+    );
     println!("  throughput   = {:.0} MiB/s", sim.throughput / 1048576.0);
     println!(
         "  delay range  = [{:.3}, {:.3}] ms",
         sim.delay_min * 1e3,
         sim.delay_max * 1e3
     );
-    println!("  peak backlog = {}", fmt_bytes(Value::finite(Rat::from_f64(sim.peak_backlog))));
+    println!(
+        "  peak backlog = {}",
+        fmt_bytes(Value::finite(Rat::from_f64(sim.peak_backlog)))
+    );
     for n in &sim.per_node {
         println!("    {:<11} utilization {:.2}", n.name, n.utilization);
     }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, the tier-1 build+test pass, and a
+# smoke run of the kernel benches. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings: nc-core, nc-des)"
+cargo clippy -p nc-core -p nc-des --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> criterion smoke: curve_ops in test mode"
+cargo bench -p nc-bench --bench curve_ops -- --test
+
+echo "==> all checks passed"

@@ -60,7 +60,11 @@ fn all_three_models_agree_on_the_bottleneck() {
             trace: false,
         },
     );
-    assert!((sim.throughput - 500.0).abs() / 500.0 < 0.05, "{}", sim.throughput);
+    assert!(
+        (sim.throughput - 500.0).abs() / 500.0 < 0.05,
+        "{}",
+        sim.throughput
+    );
     // NC throughput bracket contains both.
     let tb = m.throughput_over(Rat::int(100));
     assert!(tb.lower.to_f64() <= sim.throughput * 1.02);
@@ -134,5 +138,9 @@ fn des_validates_nc_delay_on_deterministic_stage() {
     assert!(sim.delay_max <= bound * (1.0 + 1e-9));
     // Tightness: the bound is within 3x of the observed worst case
     // (it covers the full burst; the sim feeds steadily).
-    assert!(bound <= sim.delay_max * 3.0, "bound {bound} vs sim {}", sim.delay_max);
+    assert!(
+        bound <= sim.delay_max * 3.0,
+        "bound {bound} vs sim {}",
+        sim.delay_max
+    );
 }

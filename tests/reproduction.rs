@@ -5,7 +5,6 @@
 
 use streamcalc::apps::{bitw, blast, paper};
 
-
 #[test]
 fn table1_blast_throughputs() {
     let r = blast::reproduce(42);
@@ -35,8 +34,7 @@ fn blast_bounds_corroborated() {
     // Our model vs the paper's model: within 10%.
     assert!((b.delay_bound_s - b.paper_delay_bound_s).abs() / b.paper_delay_bound_s < 0.10);
     assert!(
-        (b.backlog_bound_bytes - b.paper_backlog_bound_bytes).abs()
-            / b.paper_backlog_bound_bytes
+        (b.backlog_bound_bytes - b.paper_backlog_bound_bytes).abs() / b.paper_backlog_bound_bytes
             < 0.10
     );
     // The §4.2 corroboration: simulation inside the modeled bounds.
@@ -91,8 +89,7 @@ fn bitw_bounds_corroborated() {
     let b = &r.bounds;
     assert!((b.delay_bound_s - b.paper_delay_bound_s).abs() / b.paper_delay_bound_s < 0.05);
     assert!(
-        (b.backlog_bound_bytes - b.paper_backlog_bound_bytes).abs()
-            / b.paper_backlog_bound_bytes
+        (b.backlog_bound_bytes - b.paper_backlog_bound_bytes).abs() / b.paper_backlog_bound_bytes
             < 0.05
     );
     assert!(b.sim_within_bounds());

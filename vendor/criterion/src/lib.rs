@@ -1,0 +1,260 @@
+//! Vendored micro-benchmark harness.
+//!
+//! The build environment has no registry access, so upstream
+//! `criterion` cannot be fetched. This crate reimplements the
+//! call-site API the benches use — `criterion_group!`/`criterion_main!`
+//! with `name`/`config`/`targets`, benchmark groups, `BenchmarkId`,
+//! `Throughput`, and `Bencher::iter` — timing with a
+//! calibrate-then-sample scheme and printing `min/median/max`
+//! per-iteration times. Passing `--test` (the `cargo test` /
+//! criterion smoke convention) runs every benchmark body exactly once
+//! without timing.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle; one per `criterion_group!` config.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test" || a == "--list");
+        Criterion {
+            sample_size: 100,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(id, self.sample_size, self.test_mode, f);
+    }
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Work processed per iteration, for derived-rate reporting.
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Abstract elements handled per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Record the per-iteration workload (accepted; reporting of
+    /// derived rates is omitted in the vendored harness).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `<group>/<id>`.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_benchmark(&full, self.sample_size, self.test_mode, f);
+    }
+
+    /// Benchmark a closure that receives `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, self.test_mode, |b| f(b, input));
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Accepted `bench_function` identifiers (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Convert into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing driver handed to each benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    /// (min, median, max) per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `f`, calibrating the batch size so each sample runs long
+    /// enough for the clock to resolve it.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+
+        // Calibrate: grow the batch until one batch takes >= 2 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed() / batch as u32);
+        }
+        samples.sort();
+        self.result = Some((
+            samples[0],
+            samples[samples.len() / 2],
+            samples[samples.len() - 1],
+        ));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        test_mode,
+        result: None,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("{id}: ok (smoke)");
+    } else if let Some((min, median, max)) = bencher.result {
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            format_duration(min),
+            format_duration(median),
+            format_duration(max),
+        );
+    }
+}
+
+/// Define a benchmark group function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,138 @@
+//! Vendored ChaCha-based RNGs.
+//!
+//! A genuine ChaCha keystream generator (D. J. Bernstein's quarter-round
+//! network) exposed through the vendored `rand` traits. Streams are
+//! fully determined by the seed, so `seed_from_u64(k)` reproduces runs
+//! bit-for-bit — the property the simulators rely on. Exact keystream
+//! equality with the upstream `rand_chacha` crate is *not* guaranteed
+//! (nothing in this workspace depends on golden keystream values).
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS_CHACHA8: usize = 8;
+const ROUNDS_CHACHA12: usize = 12;
+const ROUNDS_CHACHA20: usize = 20;
+
+#[derive(Clone, Debug)]
+struct ChaChaCore<const ROUNDS: usize> {
+    /// Key (words 4..12 of the initial state).
+    key: [u32; 8],
+    /// 64-bit block counter (words 12..14); nonce words are zero.
+    counter: u64,
+    /// Buffered keystream block.
+    buf: [u32; 16],
+    /// Next unread word index in `buf`; 16 = exhausted.
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
+    fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaChaCore {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        // "expand 32-byte k"
+        let mut state = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.buf = state;
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.idx == 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name(ChaChaCore<$rounds>);
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                $name(ChaChaCore::from_seed_bytes(seed))
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.0.next_word() as u64;
+                let hi = self.0.next_word() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    ROUNDS_CHACHA8,
+    "ChaCha with 8 rounds — the workspace's standard fast reproducible RNG."
+);
+chacha_rng!(ChaCha12Rng, ROUNDS_CHACHA12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, ROUNDS_CHACHA20, "ChaCha with 20 rounds.");

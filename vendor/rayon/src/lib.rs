@@ -1,0 +1,171 @@
+//! Vendored parallel-iterator subset.
+//!
+//! The build environment has no registry access, so upstream `rayon`
+//! cannot be fetched. This crate provides the
+//! `into_par_iter().map(..).collect()` surface the workspace uses,
+//! executing the mapped closure on `std::thread::scope` worker threads
+//! (one chunk per available core) and preserving input order in the
+//! collected output.
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Start a parallel pipeline over `self`'s elements.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_into_par_iter_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each element with `f` on worker threads.
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Map with per-worker scratch state: `init` runs once on each
+    /// worker thread and the resulting value is passed to every `f`
+    /// call that worker makes (upstream rayon's `map_init`).
+    pub fn map_init<I, O, N, F>(self, init: N, f: F) -> ParMapInit<T, N, F>
+    where
+        O: Send,
+        N: Fn() -> I + Sync,
+        F: Fn(&mut I, T) -> O + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map_init`]; terminal `collect` runs the
+/// work.
+pub struct ParMapInit<T, N, F> {
+    items: Vec<T>,
+    init: N,
+    f: F,
+}
+
+impl<T, I, O, N, F> ParMapInit<T, N, F>
+where
+    T: Send,
+    O: Send,
+    N: Fn() -> I + Sync,
+    F: Fn(&mut I, T) -> O + Sync,
+{
+    /// Run the map on worker threads (one `init` state per chunk) and
+    /// collect results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(self.items.len().max(1));
+        let init = &self.init;
+        let f = &self.f;
+
+        let n = self.items.len();
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+
+        let mut outputs: Vec<Vec<O>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut state = init();
+                        chunk
+                            .into_iter()
+                            .map(|t| f(&mut state, t))
+                            .collect::<Vec<O>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                outputs.push(handle.join().expect("rayon worker panicked"));
+            }
+        });
+        outputs.into_iter().flatten().collect()
+    }
+}
+
+/// The result of [`ParIter::map`]; terminal `collect` runs the work.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
+    /// Run the map on worker threads and collect results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(self.items.len().max(1));
+        let f = &self.f;
+
+        let n = self.items.len();
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        // Keep per-chunk output order: spawn one worker per chunk,
+        // then flatten in chunk order.
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+
+        let mut outputs: Vec<Vec<O>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+                .collect();
+            for handle in handles {
+                outputs.push(handle.join().expect("rayon worker panicked"));
+            }
+        });
+        outputs.into_iter().flatten().collect()
+    }
+}
+
+/// Glob import mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}

@@ -1,0 +1,395 @@
+//! Deserialization half of the data model.
+
+use core::fmt::{self, Display};
+use core::marker::PhantomData;
+
+/// Error raised by a deserializer.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+    /// A field was present but its value had the wrong shape.
+    fn invalid_type(unexp: &str, exp: &dyn Expected) -> Self {
+        Self::custom(format_args!("invalid type: {unexp}, expected {exp}"))
+    }
+    /// A required field was missing.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+    /// An enum tag did not name a known variant.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
+    }
+}
+
+/// What a visitor expected, for error messages.
+pub trait Expected {
+    /// Describe the expectation (e.g. "a sequence of two integers").
+    fn fmt(&self, formatter: &mut fmt::Formatter) -> fmt::Result;
+}
+
+impl<'de, V: Visitor<'de>> Expected for V {
+    fn fmt(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        self.expecting(formatter)
+    }
+}
+
+impl Display for dyn Expected + '_ {
+    fn fmt(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        Expected::fmt(self, formatter)
+    }
+}
+
+/// A data structure that can be deserialized from any data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A format-specific deserializer (the driver side of the data model).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Let the format pick the visitor method based on the input shape.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint that an `Option` is expected: `null` → `visit_none`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// Walks a deserializer's input, building a value.
+pub trait Visitor<'de>: Sized {
+    /// The value produced.
+    type Value;
+
+    /// Describe what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result;
+
+    /// Input was a boolean.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::invalid_type("boolean", &self))
+    }
+    /// Input was a signed integer.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::invalid_type("integer", &self))
+    }
+    /// Input was an unsigned integer.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        self.visit_i64(i64::try_from(v).map_err(|_| E::custom("u64 out of i64 range"))?)
+    }
+    /// Input was a float.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::invalid_type("floating point number", &self))
+    }
+    /// Input was a string.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::invalid_type("string", &self))
+    }
+    /// Input was a null / unit.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("null", &self))
+    }
+    /// Input was an absent optional.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("none", &self))
+    }
+    /// Input was a present optional.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::invalid_type("some", &self))
+    }
+    /// Input was a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::invalid_type("sequence", &self))
+    }
+    /// Input was a map / object.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::invalid_type("map", &self))
+    }
+}
+
+/// Streaming access to a sequence's elements.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Next element, or `None` at the end of the sequence.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    /// Remaining length, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Streaming access to a map's entries.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Next key, or `None` at the end of the map.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>;
+    /// Value for the key just returned by `next_key`.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error>;
+    /// Skip the value for the key just returned (unknown fields).
+    fn skip_value(&mut self) -> Result<(), Self::Error>;
+}
+
+/// Deserialize seed that just ignores whatever value comes next.
+pub struct IgnoredAny;
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct IgnoredVisitor;
+        impl<'de> Visitor<'de> for IgnoredVisitor {
+            type Value = IgnoredAny;
+            fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+                formatter.write_str("anything")
+            }
+            fn visit_bool<E: Error>(self, _: bool) -> Result<Self::Value, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_i64<E: Error>(self, _: i64) -> Result<Self::Value, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_u64<E: Error>(self, _: u64) -> Result<Self::Value, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_f64<E: Error>(self, _: f64) -> Result<Self::Value, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_str<E: Error>(self, _: &str) -> Result<Self::Value, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                deserializer.deserialize_any(IgnoredVisitor)
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                while seq.next_element::<IgnoredAny>()?.is_some() {}
+                Ok(IgnoredAny)
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                while map.next_key::<String>()?.is_some() {
+                    map.skip_value()?;
+                }
+                Ok(IgnoredAny)
+            }
+        }
+        deserializer.deserialize_any(IgnoredVisitor)
+    }
+}
+
+struct BoolVisitor;
+
+impl<'de> Visitor<'de> for BoolVisitor {
+    type Value = bool;
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("a boolean")
+    }
+    fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+        Ok(v)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_any(BoolVisitor)
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct IntVisitor;
+                impl<'de> Visitor<'de> for IntVisitor {
+                    type Value = $t;
+                    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+                        formatter.write_str(concat!("an integer fitting in ", stringify!($t)))
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v)
+                            .map_err(|_| E::custom(format_args!("integer {v} out of range for {}", stringify!($t))))
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v)
+                            .map_err(|_| E::custom(format_args!("integer {v} out of range for {}", stringify!($t))))
+                    }
+                    fn visit_f64<E: Error>(self, v: f64) -> Result<$t, E> {
+                        if v.fract() == 0.0 && v >= <$t>::MIN as f64 && v <= <$t>::MAX as f64 {
+                            Ok(v as $t)
+                        } else {
+                            Err(E::custom(format_args!("float {v} is not a {}", stringify!($t))))
+                        }
+                    }
+                }
+                deserializer.deserialize_any(IntVisitor)
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct FloatVisitor;
+                impl<'de> Visitor<'de> for FloatVisitor {
+                    type Value = $t;
+                    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+                        formatter.write_str("a number")
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                    fn visit_f64<E: Error>(self, v: f64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                }
+                deserializer.deserialize_any(FloatVisitor)
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+                formatter.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+        }
+        deserializer.deserialize_any(StringVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+                formatter.write_str("an optional value")
+            }
+            fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+                formatter.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_any(VecVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Default + Copy, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ArrayVisitor<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Default + Copy, const N: usize> Visitor<'de>
+            for ArrayVisitor<T, N>
+        {
+            type Value = [T; N];
+            fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+                write!(formatter, "a sequence of {N} elements")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = [T::default(); N];
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = seq.next_element()?.ok_or_else(|| {
+                        Error::custom(format_args!("expected {N} elements, got {i}"))
+                    })?;
+                }
+                if seq.next_element::<IgnoredAny>()?.is_some() {
+                    return Err(Error::custom(format_args!("expected exactly {N} elements")));
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_any(ArrayVisitor::<T, N>(PhantomData))
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal : $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+                        write!(formatter, "a tuple of {} elements", $len)
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<Acc: SeqAccess<'de>>(self, mut seq: Acc) -> Result<Self::Value, Acc::Error> {
+                        $(
+                            let $name = seq
+                                .next_element()?
+                                .ok_or_else(|| Error::custom("tuple too short"))?;
+                        )+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_any(TupleVisitor(PhantomData))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (1: A)
+    (2: A, B)
+    (3: A, B, C)
+    (4: A, B, C, D)
+    (5: A, B, C, D, E)
+}

@@ -1,0 +1,20 @@
+//! Vendored subset of the `serde` data-model traits.
+//!
+//! The build environment for this repository has no access to a crate
+//! registry, so the external `serde` crate cannot be fetched. This
+//! crate reimplements the slice of serde's API that the workspace
+//! actually uses — `Serialize`/`Deserialize` with derive support,
+//! visitor-based deserialization, and the `ser`/`de` module layout —
+//! with identical call-site syntax, so application code is written
+//! exactly as it would be against the real crate and can be pointed
+//! back at upstream serde unchanged when a registry is available.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros share the trait names, mirroring upstream serde's
+// `features = ["derive"]` re-export.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,450 @@
+//! Vendored `Serialize`/`Deserialize` derive macros.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are
+//! unavailable; the item definition is parsed directly from the
+//! `proc_macro` token stream and the impls are emitted as source
+//! strings. Supported shapes are the ones this workspace uses:
+//! named-field structs (with `#[serde(skip)]`), unit enums, and
+//! externally-tagged data enums with newtype or struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+    is_option: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// True if the attribute tokens (the bracketed group's contents) are
+/// `serde(skip)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Skip attributes starting at `i`, returning (next index, saw serde(skip)).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if attr_is_serde_skip(g) {
+                skip = true;
+            }
+        }
+        i += 2;
+    }
+    (i, skip)
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parse `name: Type` fields from the contents of a brace group.
+fn parse_fields(body: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, skip) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found `{other}`"),
+        }
+        // Collect type tokens until a comma at angle-bracket depth 0.
+        let mut ty = Vec::new();
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            ty.push(tokens[i].to_string());
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        let is_option = ty.first().map(String::as_str) == Some("Option");
+        fields.push(Field {
+            name,
+            ty: ty.join(" "),
+            skip,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = next;
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g);
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Past an optional discriminant to the separating comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        if i == next && !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            break;
+        }
+        if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+            && !matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub")
+        {
+            break;
+        }
+    }
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic types are not supported by the vendored serde_derive");
+    }
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("expected braced {kw} body, found `{other}`"),
+    };
+    match kw.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------- Serialize
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut body = String::new();
+            for f in &live {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{0}\", &self.{0})?;\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                         let mut __state = ::serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {len})?;\n\
+                         {body}\
+                         ::serde::ser::SerializeStruct::end(__state)\n\
+                     }}\n\
+                 }}\n",
+                len = live.len(),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vn}\"),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vn}\", __f0),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut sv = String::new();
+                        for f in fields {
+                            sv.push_str(&format!(
+                                "::serde::ser::SerializeStruct::serialize_field(&mut __sv, \"{0}\", {0})?;\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{\n\
+                                 let mut __sv = ::serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vn}\", {len})?;\n\
+                                 {sv}\
+                                 ::serde::ser::SerializeStruct::end(__sv)\n\
+                             }}\n",
+                            pat = pat.join(", "),
+                            len = fields.len(),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let out = format!("const _: () = {{\n{}\n}};", gen_serialize(&item));
+    out.parse().unwrap()
+}
+
+// -------------------------------------------------------------- Deserialize
+
+/// Emit a `Deserialize` impl (map-keyed visitor) for a named-field
+/// struct. Reused for the shadow structs backing enum struct variants.
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut locals = String::new();
+    let mut arms = String::new();
+    let mut build = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            build.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+            continue;
+        }
+        locals.push_str(&format!(
+            "let mut __f_{fname}: ::core::option::Option<{ty}> = ::core::option::Option::None;\n",
+            ty = f.ty
+        ));
+        arms.push_str(&format!(
+            "\"{fname}\" => {{ __f_{fname} = ::core::option::Option::Some(::serde::de::MapAccess::next_value(&mut __map)?); }}\n"
+        ));
+        let missing = if f.is_option {
+            "::core::option::Option::None".to_string()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(::serde::de::Error::missing_field(\"{fname}\"))"
+            )
+        };
+        build.push_str(&format!(
+            "{fname}: match __f_{fname} {{ ::core::option::Option::Some(__v) => __v, ::core::option::Option::None => {missing} }},\n"
+        ));
+    }
+    format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"struct {name}\")\n\
+                     }}\n\
+                     fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         {locals}\
+                         while let ::core::option::Option::Some(__key) = ::serde::de::MapAccess::next_key::<::std::string::String>(&mut __map)? {{\n\
+                             match __key.as_str() {{\n\
+                                 {arms}\
+                                 _ => {{ ::serde::de::MapAccess::skip_value(&mut __map)?; }}\n\
+                             }}\n\
+                         }}\n\
+                         ::core::result::Result::Ok({name} {{\n{build}}})\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_any(__deserializer, __Visitor)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .collect();
+    let names_list: Vec<String> = variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+    let names_list = names_list.join(", ");
+
+    let mut shadows = String::new();
+    let mut map_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => map_arms.push_str(&format!(
+                "\"{vn}\" => {{ ::serde::de::MapAccess::skip_value(&mut __map)?; ::core::result::Result::Ok({name}::{vn}) }}\n"
+            )),
+            VariantKind::Newtype => map_arms.push_str(&format!(
+                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::de::MapAccess::next_value(&mut __map)?)),\n"
+            )),
+            VariantKind::Struct(fields) => {
+                let shadow = format!("__Serde_{name}_{vn}");
+                let decl: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{}: {}", f.name, f.ty))
+                    .collect();
+                shadows.push_str(&format!(
+                    "#[allow(non_camel_case_types)]\nstruct {shadow} {{ {} }}\n{}",
+                    decl.join(", "),
+                    gen_struct_deserialize(&shadow, fields),
+                ));
+                let rebuild: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{0}: __sh.{0}", f.name))
+                    .collect();
+                map_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __sh: {shadow} = ::serde::de::MapAccess::next_value(&mut __map)?;\n\
+                         ::core::result::Result::Ok({name}::{vn} {{ {rebuild} }})\n\
+                     }}\n",
+                    rebuild = rebuild.join(", "),
+                ));
+            }
+        }
+    }
+
+    let visit_str = if unit.is_empty() {
+        String::new()
+    } else {
+        let mut arms = String::new();
+        for v in &unit {
+            arms.push_str(&format!(
+                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n",
+                vn = v.name
+            ));
+        }
+        format!(
+            "fn visit_str<__E: ::serde::de::Error>(self, __v: &str) -> ::core::result::Result<Self::Value, __E> {{\n\
+                 match __v {{\n\
+                     {arms}\
+                     __other => ::core::result::Result::Err(::serde::de::Error::unknown_variant(__other, &[{names_list}])),\n\
+                 }}\n\
+             }}\n"
+        )
+    };
+
+    format!(
+        "{shadows}\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"enum {name}\")\n\
+                     }}\n\
+                     {visit_str}\
+                     fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let __tag: ::std::string::String = match ::serde::de::MapAccess::next_key(&mut __map)? {{\n\
+                             ::core::option::Option::Some(__k) => __k,\n\
+                             ::core::option::Option::None => return ::core::result::Result::Err(::serde::de::Error::custom(\"expected a variant tag\")),\n\
+                         }};\n\
+                         match __tag.as_str() {{\n\
+                             {map_arms}\
+                             __other => ::core::result::Result::Err(::serde::de::Error::unknown_variant(__other, &[{names_list}])),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_any(__deserializer, __Visitor)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    let out = format!("const _: () = {{\n{body}\n}};");
+    out.parse().unwrap()
+}

@@ -1,0 +1,601 @@
+//! Vendored JSON format layered on the vendored `serde` data model.
+//!
+//! Implements the workspace's actual usage surface — `to_string`,
+//! `to_string_pretty`, and `from_str` — with the same observable
+//! behaviour as upstream `serde_json` for the value shapes this
+//! repository serializes: numbers, strings, booleans, null, arrays,
+//! objects, and externally-tagged enums.
+
+use serde::de::{self, Deserialize, Visitor};
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Error produced by JSON serialization or deserialization.
+pub struct Error(String);
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        write!(f, "Error({:?})", self.0)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+// ------------------------------------------------------------- serialization
+
+struct Writer {
+    out: String,
+    pretty: bool,
+    indent: usize,
+}
+
+impl Writer {
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            // Shortest round-trip representation; integral floats keep
+            // a trailing ".0" so the value reads back as a float.
+            let s = format!("{v}");
+            self.out.push_str(&s);
+            if v.fract() == 0.0 && !s.contains(['.', 'e', 'E']) && v.abs() < 1e15 {
+                self.out.push_str(".0");
+            }
+        } else {
+            // Upstream serde_json serializes NaN/inf as null.
+            self.out.push_str("null");
+        }
+    }
+
+    fn write_str(&mut self, v: &str) {
+        self.out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+/// Sub-serializer for sequences, structs, and struct variants.
+pub struct Compound<'a> {
+    w: &'a mut Writer,
+    first: bool,
+    close: &'static str,
+}
+
+impl Compound<'_> {
+    fn element_gap(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.w.out.push(',');
+        }
+        self.w.newline_indent();
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        self.w.indent = self.w.indent.saturating_sub(1);
+        if !self.first {
+            self.w.newline_indent();
+        }
+        self.w.out.push_str(self.close);
+        // A struct variant owes the outer `}` of its tag object.
+        if self.close.len() == 2 && self.w.pretty {
+            // Already emitted both braces without an inner newline;
+            // acceptable compact close for the nested tag object.
+        }
+        Ok(())
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.element_gap();
+        value.serialize(&mut *self.w)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.element_gap();
+        self.w.write_str(key);
+        self.w.out.push(':');
+        if self.w.pretty {
+            self.w.out.push(' ');
+        }
+        value.serialize(&mut *self.w)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Writer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        self.write_f64(v);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.write_str(v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.write_str(variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        self.write_str(variant);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('[');
+        self.indent += 1;
+        Ok(Compound {
+            w: self,
+            first: true,
+            close: "]",
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        self.indent += 1;
+        Ok(Compound {
+            w: self,
+            first: true,
+            close: "}",
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        self.write_str(variant);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        self.out.push('{');
+        self.indent += 1;
+        Ok(Compound {
+            w: self,
+            first: true,
+            close: "}}",
+        })
+    }
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = Writer {
+        out: String::new(),
+        pretty: false,
+        indent: 0,
+    };
+    value.serialize(&mut w)?;
+    Ok(w.out)
+}
+
+/// Serialize `value` as human-readable, two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = Writer {
+        out: String::new(),
+        pretty: true,
+        indent: 0,
+    };
+    value.serialize(&mut w)?;
+    Ok(w.out)
+}
+
+// ----------------------------------------------------------- deserialization
+
+/// Parsed JSON value tree (internal).
+enum JVal {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, Error> {
+        Err(Error(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JVal, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JVal::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", JVal::Bool(true)),
+            Some(b'f') => self.parse_lit("false", JVal::Bool(false)),
+            Some(b'n') => self.parse_lit("null", JVal::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: JVal) -> Result<JVal, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected `{lit}`"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JVal, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid utf-8 in number".into()))?;
+        if !float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JVal::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(JVal::Num(v)),
+            Err(_) => self.err(&format!("invalid number `{text}`")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 3; // +1 below covers the 4th
+                                }
+                                None => return self.err("invalid \\u escape"),
+                            }
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid utf-8 in string".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JVal, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JVal, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JVal::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JVal::Obj(entries));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+struct SeqAcc<'de> {
+    iter: std::slice::Iter<'de, JVal>,
+}
+
+impl<'de> de::SeqAccess<'de> for SeqAcc<'de> {
+    type Error = Error;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        match self.iter.next() {
+            Some(v) => T::deserialize(v).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct MapAcc<'de> {
+    iter: std::slice::Iter<'de, (String, JVal)>,
+    value: Option<&'de JVal>,
+}
+
+/// Deserializer handing an object key to `next_key`.
+struct StrDeserializer<'de>(&'de str);
+
+impl<'de> de::Deserializer<'de> for StrDeserializer<'de> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_str(self.0)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_some(self)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for MapAcc<'de> {
+    type Error = Error;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Error> {
+        match self.iter.next() {
+            Some((key, value)) => {
+                self.value = Some(value);
+                K::deserialize(StrDeserializer(key)).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Error> {
+        let value = self
+            .value
+            .take()
+            .ok_or_else(|| Error("next_value called before next_key".into()))?;
+        V::deserialize(value)
+    }
+
+    fn skip_value(&mut self) -> Result<(), Error> {
+        self.value.take();
+        Ok(())
+    }
+}
+
+impl<'de> de::Deserializer<'de> for &'de JVal {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self {
+            JVal::Null => visitor.visit_unit(),
+            JVal::Bool(b) => visitor.visit_bool(*b),
+            JVal::Int(i) => visitor.visit_i64(*i),
+            JVal::Num(n) => visitor.visit_f64(*n),
+            JVal::Str(s) => visitor.visit_str(s),
+            JVal::Arr(items) => visitor.visit_seq(SeqAcc { iter: items.iter() }),
+            JVal::Obj(entries) => visitor.visit_map(MapAcc {
+                iter: entries.iter(),
+                value: None,
+            }),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self {
+            JVal::Null => visitor.visit_none(),
+            _ => visitor.visit_some(self),
+        }
+    }
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing characters");
+    }
+    T::deserialize(&value)
+}
