@@ -1,7 +1,12 @@
 //! Figure 10 reproduction: bump-in-the-wire network-calculus curves
-//! (α, β, α*; γ omitted as in the paper) and the simulated stairstep.
+//! (α, β, α*; γ omitted as in the paper) and the simulated stairstep —
+//! plus a what-if bounds surface (compression ratio × network link
+//! rate) from the `nc-sweep` engine, emitted as `fig10_sweep.csv`.
 
 use nc_apps::bitw;
+use nc_core::num::Rat;
+use nc_core::units::mib_per_s;
+use nc_sweep::{Axis, Param, SweepSpec};
 
 fn main() {
     let r = bitw::reproduce(42);
@@ -11,5 +16,31 @@ fn main() {
         "Figure 10: {} sim points, stairstep within [beta, alpha*]: {}",
         fig.sim.len(),
         fig.sim_between_bounds(1024.0)
+    );
+
+    // What-if surface: the paper's three observed compression ratios
+    // (1.0 / 2.2 / 5.3) × the wire swapped for slower link rates.
+    let spec = SweepSpec {
+        base: bitw::pipeline(bitw::Scenario::Average),
+        axes: vec![
+            Axis::new(
+                Param::CompressionRatio(0),
+                vec![Rat::ONE, Rat::new(11, 5), Rat::new(53, 10)],
+            ),
+            Axis::linspace(Param::Rate(2), mib_per_s(16.0), mib_per_s(256.0), 9),
+        ],
+        horizons: vec![Rat::new(1, 10), Rat::int(1)],
+        sim: None,
+    };
+    let surface = nc_sweep::run(&spec);
+    nc_bench::emit("fig10_sweep.csv", &surface.to_csv());
+    let s = surface.stats;
+    println!(
+        "Figure 10 sweep: {} points, cache ops {}/{} hit/miss, prefix {}/{}",
+        surface.points.len(),
+        s.op_hits(),
+        s.op_misses(),
+        s.prefix_hits,
+        s.prefix_misses
     );
 }

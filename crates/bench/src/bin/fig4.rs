@@ -1,7 +1,12 @@
 //! Figure 4 reproduction: BLAST network-calculus curves (α, β, α*) and
-//! the simulated cumulative-output stairstep.
+//! the simulated cumulative-output stairstep — plus a what-if bounds
+//! surface (offered load × network link rate) from the `nc-sweep`
+//! engine, emitted as `fig4_sweep.csv`.
 
 use nc_apps::blast;
+use nc_core::num::Rat;
+use nc_core::units::mib_per_s;
+use nc_sweep::{Axis, Param, SweepSpec};
 
 fn main() {
     let r = blast::reproduce(42);
@@ -11,5 +16,28 @@ fn main() {
         "Figure 4: {} sim points, stairstep within [beta, alpha*]: {}",
         fig.sim.len(),
         fig.sim_between_bounds(1024.0)
+    );
+
+    // What-if surface around the deployed operating point: offered load
+    // across the regimes × the 10 GbE link swapped for slower fabrics.
+    let spec = SweepSpec {
+        base: blast::deployed_pipeline(),
+        axes: vec![
+            Axis::linspace(Param::SourceRate, mib_per_s(40.0), mib_per_s(120.0), 9),
+            Axis::linspace(Param::Rate(2), mib_per_s(73.625), mib_per_s(1178.0), 5),
+        ],
+        horizons: vec![Rat::int(1), Rat::int(10)],
+        sim: None,
+    };
+    let surface = nc_sweep::run(&spec);
+    nc_bench::emit("fig4_sweep.csv", &surface.to_csv());
+    let s = surface.stats;
+    println!(
+        "Figure 4 sweep: {} points, cache ops {}/{} hit/miss, prefix {}/{}",
+        surface.points.len(),
+        s.op_hits(),
+        s.op_misses(),
+        s.prefix_hits,
+        s.prefix_misses
     );
 }

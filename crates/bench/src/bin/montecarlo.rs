@@ -34,7 +34,7 @@ fn summarize(what: &str, xs: &[f64]) -> Summary {
         n,
         mean,
         min: xs.iter().copied().fold(f64::INFINITY, f64::min),
-        max: xs.iter().copied().fold(0.0, f64::max),
+        max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         stddev: var.sqrt(),
     }
 }

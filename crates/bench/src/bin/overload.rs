@@ -2,17 +2,22 @@
 //! direction). Sweeps the offered load across the three §3 regimes and
 //! records, per point: the exact backlog bound (diverging at overload),
 //! the closed-form heuristic, and the simulator's observations.
+//!
+//! The sweep itself runs on the `nc-sweep` engine (grid expansion +
+//! parallel evaluation with per-worker caches); this bin only formats
+//! the surface into the stable `overload_sweep.csv` schema.
 
 use nc_core::num::Rat;
 use nc_core::pipeline::{Node, NodeKind, Pipeline, Source, StageRates};
 use nc_core::units::mib_per_s;
-use nc_streamsim::{simulate, SimConfig};
+use nc_streamsim::SimConfig;
+use nc_sweep::{Axis, Param, SweepSpec};
 
-fn pipeline(offered_mib_s: f64) -> Pipeline {
+fn base_pipeline() -> Pipeline {
     Pipeline::new(
         "overload sweep",
         Source {
-            rate: mib_per_s(offered_mib_s),
+            rate: mib_per_s(40.0), // placeholder: the sweep axis sets it
             burst: Rat::int(64 << 10),
         },
         vec![Node::new(
@@ -28,38 +33,45 @@ fn pipeline(offered_mib_s: f64) -> Pipeline {
 
 fn main() {
     const MIB: f64 = 1048576.0;
+    let spec = SweepSpec {
+        base: base_pipeline(),
+        axes: vec![Axis::linspace(
+            Param::SourceRate,
+            mib_per_s(40.0),
+            mib_per_s(160.0),
+            25,
+        )],
+        horizons: vec![],
+        sim: Some(SimConfig {
+            seed: 5,
+            total_input: 64 << 20,
+            source_chunk: Some(64 << 10),
+            queue_capacity: None,
+            queue_capacities: None,
+            service_model: nc_streamsim::ServiceModel::Uniform,
+            trace: false,
+        }),
+    };
+    let surface = nc_sweep::run(&spec);
+
     let mut csv =
         String::from("offered_mib_s,regime,exact_backlog_mib,heuristic_backlog_mib,sim_throughput_mib_s,sim_peak_backlog_mib,sim_delay_max_ms,bottleneck_utilization\n");
-    let mut load = 40.0;
-    while load <= 160.0 + 1e-9 {
-        let p = pipeline(load);
-        let m = p.build_model();
-        let sim = simulate(
-            &p,
-            &SimConfig {
-                seed: 5,
-                total_input: 64 << 20,
-                source_chunk: Some(64 << 10),
-                queue_capacity: None,
-                queue_capacities: None,
-                service_model: nc_streamsim::ServiceModel::Uniform,
-                trace: false,
-            },
-        );
-        let exact = match m.backlog_bound() {
+    for p in &surface.points {
+        let sim = p.sim.as_ref().expect("sweep ran with sim enabled");
+        let exact = match p.backlog {
             nc_core::Value::Finite(x) => format!("{:.4}", x.to_f64() / MIB),
             _ => "inf".into(),
         };
         csv.push_str(&format!(
-            "{load},{:?},{exact},{:.4},{:.2},{:.4},{:.3},{:.3}\n",
-            m.regime(),
-            m.heuristic_backlog().to_f64() / MIB,
+            "{},{:?},{exact},{:.4},{:.2},{:.4},{:.3},{:.3}\n",
+            p.coords[0].to_f64() / MIB,
+            p.regime,
+            p.heuristic_backlog.to_f64() / MIB,
             sim.throughput / MIB,
             sim.peak_backlog / MIB,
             sim.delay_max * 1e3,
-            sim.per_node[0].utilization,
+            sim.utilization[0],
         ));
-        load += 5.0;
     }
     nc_bench::emit("overload_sweep.csv", &csv);
 }

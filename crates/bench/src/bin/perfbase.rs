@@ -1,10 +1,13 @@
 //! The tracked performance baseline.
 //!
 //! Times the paper-reproduction binaries end to end (`table1`,
-//! `table3`, `fig4`, `fig10`) and the min-plus kernel fast paths
-//! against their reference implementations, then writes the whole
-//! snapshot to `BENCH_1.json` at the workspace root so perf regressions
-//! show up in review diffs.
+//! `table3`, `fig4`, `fig10`, `montecarlo`, `overload`, `sweep`), the
+//! min-plus kernel fast paths against their reference implementations,
+//! and the batch sweep engine (cached + parallel vs serial uncached,
+//! with result-equality asserted and cache-hit counts recorded), then
+//! writes the whole snapshot to `BENCH_2.json` at the workspace root —
+//! next to PR 1's `BENCH_1.json` — so perf regressions show up in
+//! review diffs.
 //!
 //! Run with `cargo run --release -p nc-bench --bin perfbase`.
 
@@ -43,12 +46,28 @@ struct SimTime {
 }
 
 #[derive(Serialize)]
+struct SweepBench {
+    what: String,
+    points: usize,
+    /// Best-of-3 wall time of `nc_sweep::run` (parallel, per-worker
+    /// caches), seconds.
+    cached_s: f64,
+    /// Best-of-2 wall time of `nc_sweep::run_serial_uncached` (the
+    /// status-quo loop), seconds.
+    uncached_serial_s: f64,
+    speedup: f64,
+    /// Merged cache counters of one cached run.
+    cache: nc_core::cache::CacheStats,
+}
+
+#[derive(Serialize)]
 struct Baseline {
     schema: &'static str,
     command: &'static str,
     bins: Vec<BinTime>,
     sims: Vec<SimTime>,
     ablations: Vec<Ablation>,
+    sweeps: Vec<SweepBench>,
 }
 
 fn lb(r: i64, b: i64) -> Curve {
@@ -128,10 +147,18 @@ fn main() {
     assert!(status.success(), "building repro binaries failed");
 
     println!("perf baseline: repro binaries (best of 2)");
-    let bins = ["table1", "table3", "fig4", "fig10"]
-        .iter()
-        .map(|b| run_bin(b))
-        .collect();
+    let bins = [
+        "table1",
+        "table3",
+        "fig4",
+        "fig10",
+        "montecarlo",
+        "overload",
+        "sweep",
+    ]
+    .iter()
+    .map(|b| run_bin(b))
+    .collect();
 
     println!("perf baseline: kernel fast paths vs reference");
     let mut ablations = Vec::new();
@@ -275,18 +302,65 @@ fn main() {
         });
     }
 
+    // Batch sweep engine: cached + parallel fan-out vs the status-quo
+    // serial uncached loop, on the tracked 16x16 BITW workload (256
+    // points x 10 horizons). Result equality is asserted before timing,
+    // so the speedup is apples to apples.
+    println!("perf baseline: sweep engine (cached+parallel vs serial uncached)");
+    let spec = nc_bench::bitw_sweep_spec(16, 16);
+    let cached = nc_sweep::run(&spec);
+    let uncached = nc_sweep::run_serial_uncached(&spec);
+    assert_eq!(
+        cached.to_csv(),
+        uncached.to_csv(),
+        "cached sweep must reproduce the uncached surface exactly"
+    );
+    // Interleave the timed runs so CPU frequency drift hits both sides
+    // of the comparison equally; keep the best of each.
+    let (mut cached_s, mut uncached_serial_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let t = Instant::now();
+        std::hint::black_box(nc_sweep::run(&spec));
+        cached_s = cached_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        std::hint::black_box(nc_sweep::run_serial_uncached(&spec));
+        uncached_serial_s = uncached_serial_s.min(t.elapsed().as_secs_f64());
+    }
+    let sweep = SweepBench {
+        what: "BITW 16x16 block-size x PCIe egress rate, 10 horizons".into(),
+        points: cached.points.len(),
+        cached_s,
+        uncached_serial_s,
+        speedup: uncached_serial_s / cached_s.max(f64::MIN_POSITIVE),
+        cache: cached.stats,
+    };
+    println!(
+        "  {:<36} cached {:>10.3e}s  uncached {:>10.3e}s  speedup {:>6.2}x",
+        sweep.what, sweep.cached_s, sweep.uncached_serial_s, sweep.speedup
+    );
+    println!(
+        "  cache: prefix {}/{} hit/miss, ops {}/{} hit/miss, {} curves interned",
+        sweep.cache.prefix_hits,
+        sweep.cache.prefix_misses,
+        sweep.cache.op_hits(),
+        sweep.cache.op_misses(),
+        sweep.cache.interned
+    );
+    let sweeps = vec![sweep];
+
     let baseline = Baseline {
-        schema: "nc-perfbase-v1",
+        schema: "nc-perfbase-v2",
         command: "cargo run --release -p nc-bench --bin perfbase",
         bins,
         sims,
         ablations,
+        sweeps,
     };
     let root = nc_bench::results_dir()
         .parent()
         .expect("workspace root")
         .to_path_buf();
-    let path = root.join("BENCH_1.json");
+    let path = root.join("BENCH_2.json");
     let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("[written {}]", path.display());

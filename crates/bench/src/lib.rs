@@ -51,6 +51,43 @@ pub fn emit_json<T: serde::Serialize>(name: &str, value: &T) {
     println!("[written {}]", path.display());
 }
 
+/// The tracked BITW sweep workload shared by the `sweep` bin and the
+/// `perfbase` cached-vs-uncached ablation: compressor block size
+/// 256 B – 4 KiB × PCIe egress rate 16 – 256 MiB/s under the light
+/// 40 MiB/s drive (the egress axis crosses the offered load, so the §3
+/// regimes flip mid-surface), with throughput rows over a ten-step
+/// horizon ladder (10 ms – 2 s, the paper's throughput-vs-window ramp).
+/// `nx × ny` grid points, row-major with the egress axis fastest — the
+/// varied stage is the last one, so within a row the analysis of the
+/// five upstream stages is shared via the prefix memo.
+pub fn bitw_sweep_spec(nx: usize, ny: usize) -> nc_sweep::SweepSpec {
+    use nc_core::num::Rat;
+    use nc_core::units::mib_per_s;
+    use nc_sweep::{Axis, Param, SweepSpec};
+    let mut base = nc_apps::bitw::pipeline(nc_apps::bitw::Scenario::Pessimistic);
+    base.source = nc_apps::bitw::light_source();
+    SweepSpec {
+        base,
+        axes: vec![
+            Axis::linspace(Param::BlockSize(0), Rat::int(256), Rat::int(4096), nx),
+            Axis::linspace(Param::Rate(5), mib_per_s(16.0), mib_per_s(256.0), ny),
+        ],
+        horizons: vec![
+            Rat::new(1, 100),
+            Rat::new(1, 50),
+            Rat::new(3, 100),
+            Rat::new(1, 20),
+            Rat::new(1, 10),
+            Rat::new(1, 5),
+            Rat::new(3, 10),
+            Rat::new(1, 2),
+            Rat::int(1),
+            Rat::int(2),
+        ],
+        sim: None,
+    }
+}
+
 /// Format the bounds comparison section shared by `table1`/`table3`.
 pub fn format_bounds(app: &str, b: &nc_apps::BoundsReport) -> String {
     use nc_core::num::Rat;

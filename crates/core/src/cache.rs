@@ -1,0 +1,477 @@
+//! Hash-consed curve interning and memoized min-plus operators.
+//!
+//! Parameter sweeps evaluate the same pipeline model at hundreds of
+//! grid points that differ in one or two stage parameters; most of the
+//! expensive min-plus work (`⊗`, `⊘`, closures) is re-done on operands
+//! that are *identical curves*. This module removes that redundancy in
+//! two layers:
+//!
+//! 1. **Hash-consing**: [`CurveCache::intern`] maps every structurally
+//!    distinct [`Curve`] to a unique `Arc<Curve>` ([`CurveRef`]). Two
+//!    curves that are the same function — regardless of how they were
+//!    produced — intern to the same allocation, so identity (pointer)
+//!    comparison afterwards is exact function equality.
+//! 2. **Memoization**: [`CurveCache::conv`], [`CurveCache::deconv`] and
+//!    [`CurveCache::closure`] key a memo table on the operands'
+//!    *identities*. Because identity implies structural equality (the
+//!    interner holds every `Arc` alive for the cache's lifetime, so
+//!    pointers are never reused for different curves), a memo hit is
+//!    guaranteed to return exactly what the underlying exact algorithm
+//!    would compute — there is no approximation anywhere in this layer,
+//!    a property the `prop_curves` suite checks on random curves.
+//!
+//! Caches are deliberately `!Sync`: parallel sweeps give each worker
+//! thread its own cache (e.g. via `rayon`'s `map_init`), which avoids
+//! lock contention on the hot path and keeps results independent of
+//! thread scheduling — sweep output is byte-identical under any
+//! `RAYON_NUM_THREADS`.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::bounds::{backlog_bound, delay_bound};
+use crate::curve::{shapes, Curve};
+use crate::num::{Rat, Value};
+use crate::ops::closure::{subadditive_closure, Closure};
+use crate::ops::{min_plus_conv, min_plus_deconv};
+use crate::packetizer;
+
+/// A fast, non-cryptographic hasher (the multiply-rotate scheme used by
+/// `rustc`'s FxHash). The cache maps are hot — every memoized operator
+/// call hashes its operand curves — and need no DoS resistance, so the
+/// default SipHash is pure overhead here.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_ne_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_ne_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A hash-consed handle to an interned curve: cheap to clone, and equal
+/// identities ⇔ equal curves (within one [`CurveCache`]).
+#[derive(Clone)]
+pub struct CurveRef(Arc<Curve>);
+
+impl CurveRef {
+    /// Identity of the interned allocation. Stable for the lifetime of
+    /// the cache that produced this handle.
+    pub fn id(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+
+    /// The underlying curve.
+    pub fn curve(&self) -> &Curve {
+        &self.0
+    }
+}
+
+impl Deref for CurveRef {
+    type Target = Curve;
+    fn deref(&self) -> &Curve {
+        &self.0
+    }
+}
+
+impl PartialEq for CurveRef {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+impl Eq for CurveRef {}
+
+impl std::fmt::Debug for CurveRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CurveRef#{:x}({:?})", self.id(), self.0)
+    }
+}
+
+/// Hit/miss counters for every memoized operator, plus the interner and
+/// pipeline-prefix statistics. Aggregate across per-thread caches with
+/// [`CacheStats::merge`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Structurally distinct curves interned.
+    pub interned: u64,
+    /// `conv` results served from the memo table.
+    pub conv_hits: u64,
+    /// `conv` results computed by the underlying algorithm.
+    pub conv_misses: u64,
+    /// `deconv` results served from the memo table.
+    pub deconv_hits: u64,
+    /// `deconv` results computed.
+    pub deconv_misses: u64,
+    /// `closure` results served from the memo table.
+    pub closure_hits: u64,
+    /// `closure` results computed.
+    pub closure_misses: u64,
+    /// Packetized service curves served from the memo table.
+    pub pack_hits: u64,
+    /// Packetized service curves constructed.
+    pub pack_misses: u64,
+    /// Backlog/delay bound values served from the memo table.
+    pub bound_hits: u64,
+    /// Backlog/delay bound values computed.
+    pub bound_misses: u64,
+    /// Pipeline cascade prefixes reused by
+    /// [`crate::pipeline::Pipeline::build_model_cached`].
+    pub prefix_hits: u64,
+    /// Pipeline cascade prefixes analyzed from scratch.
+    pub prefix_misses: u64,
+}
+
+impl CacheStats {
+    /// Total memo hits across all operators (prefix reuse excluded).
+    pub fn op_hits(&self) -> u64 {
+        self.conv_hits + self.deconv_hits + self.closure_hits + self.pack_hits + self.bound_hits
+    }
+
+    /// Total memo misses across all operators.
+    pub fn op_misses(&self) -> u64 {
+        self.conv_misses
+            + self.deconv_misses
+            + self.closure_misses
+            + self.pack_misses
+            + self.bound_misses
+    }
+
+    /// Element-wise sum, for aggregating per-thread caches.
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            interned: self.interned + other.interned,
+            conv_hits: self.conv_hits + other.conv_hits,
+            conv_misses: self.conv_misses + other.conv_misses,
+            deconv_hits: self.deconv_hits + other.deconv_hits,
+            deconv_misses: self.deconv_misses + other.deconv_misses,
+            closure_hits: self.closure_hits + other.closure_hits,
+            closure_misses: self.closure_misses + other.closure_misses,
+            pack_hits: self.pack_hits + other.pack_hits,
+            pack_misses: self.pack_misses + other.pack_misses,
+            bound_hits: self.bound_hits + other.bound_hits,
+            bound_misses: self.bound_misses + other.bound_misses,
+            prefix_hits: self.prefix_hits + other.prefix_hits,
+            prefix_misses: self.prefix_misses + other.prefix_misses,
+        }
+    }
+}
+
+/// Provider of the min-plus operators used by model construction.
+///
+/// [`DirectOps`] computes every call from scratch; [`CurveCache`]
+/// interns the operands and memoizes. Both return exactly the same
+/// curves, so callers can be written once and run either way.
+pub trait CurveOps {
+    /// Min-plus convolution `f ⊗ g`.
+    fn conv(&mut self, f: &Curve, g: &Curve) -> Curve;
+    /// Min-plus deconvolution `f ⊘ g`.
+    fn deconv(&mut self, f: &Curve, g: &Curve) -> Curve;
+    /// Packetized rate-latency service curve
+    /// `β'(t) = [rate · (t − latency) − l_out]⁺`
+    /// (see [`crate::packetizer::packetize_service`]). Memoizable on the
+    /// three scalars, which recur heavily across sweep grid points.
+    fn packetized_service(&mut self, rate: Rat, latency: Rat, l_out: Rat) -> Curve;
+    /// Backlog bound `sup (f − g)` (see [`crate::bounds::backlog_bound`]).
+    fn backlog(&mut self, f: &Curve, g: &Curve) -> Value;
+    /// Delay bound (horizontal deviation; see
+    /// [`crate::bounds::delay_bound`]).
+    fn delay(&mut self, f: &Curve, g: &Curve) -> Value;
+}
+
+fn packetize_direct(rate: Rat, latency: Rat, l_out: Rat) -> Curve {
+    packetizer::packetize_service(&shapes::rate_latency(rate, latency), l_out)
+}
+
+/// The uncached operator provider: every call runs the exact algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirectOps;
+
+impl CurveOps for DirectOps {
+    fn conv(&mut self, f: &Curve, g: &Curve) -> Curve {
+        min_plus_conv(f, g)
+    }
+    fn deconv(&mut self, f: &Curve, g: &Curve) -> Curve {
+        min_plus_deconv(f, g)
+    }
+    fn packetized_service(&mut self, rate: Rat, latency: Rat, l_out: Rat) -> Curve {
+        packetize_direct(rate, latency, l_out)
+    }
+    fn backlog(&mut self, f: &Curve, g: &Curve) -> Value {
+        backlog_bound(f, g)
+    }
+    fn delay(&mut self, f: &Curve, g: &Curve) -> Value {
+        delay_bound(f, g)
+    }
+}
+
+/// Hash-consing interner plus memo tables for `⊗`, `⊘` and the
+/// sub-additive closure. See the module docs for the soundness
+/// argument; intended use is one cache per worker thread.
+#[derive(Default)]
+pub struct CurveCache {
+    interner: HashSet<Arc<Curve>, FxBuildHasher>,
+    conv: HashMap<(usize, usize), CurveRef, FxBuildHasher>,
+    deconv: HashMap<(usize, usize), CurveRef, FxBuildHasher>,
+    closure: HashMap<(usize, usize), (CurveRef, bool, usize), FxBuildHasher>,
+    pack: HashMap<(Rat, Rat, Rat), CurveRef, FxBuildHasher>,
+    backlog: HashMap<(usize, usize), Value, FxBuildHasher>,
+    delay: HashMap<(usize, usize), Value, FxBuildHasher>,
+    stats: CacheStats,
+}
+
+impl CurveCache {
+    /// An empty cache.
+    pub fn new() -> CurveCache {
+        CurveCache::default()
+    }
+
+    /// Intern a curve: returns the unique shared handle for this exact
+    /// function, cloning the curve only the first time it is seen.
+    pub fn intern(&mut self, c: &Curve) -> CurveRef {
+        if let Some(existing) = self.interner.get(c) {
+            return CurveRef(Arc::clone(existing));
+        }
+        let arc = Arc::new(c.clone());
+        self.interner.insert(Arc::clone(&arc));
+        self.stats.interned += 1;
+        CurveRef(arc)
+    }
+
+    /// Memoized `f ⊗ g` on interned handles. Convolution is
+    /// commutative, so the key is order-normalized and `g ⊗ f` hits the
+    /// same entry.
+    pub fn conv_ref(&mut self, f: &CurveRef, g: &CurveRef) -> CurveRef {
+        let (a, b) = (f.id().min(g.id()), f.id().max(g.id()));
+        if let Some(r) = self.conv.get(&(a, b)) {
+            self.stats.conv_hits += 1;
+            return r.clone();
+        }
+        self.stats.conv_misses += 1;
+        let out = min_plus_conv(f.curve(), g.curve());
+        let r = self.intern(&out);
+        self.conv.insert((a, b), r.clone());
+        r
+    }
+
+    /// Memoized `f ⊘ g` on interned handles (not commutative: the key
+    /// is ordered).
+    pub fn deconv_ref(&mut self, f: &CurveRef, g: &CurveRef) -> CurveRef {
+        let key = (f.id(), g.id());
+        if let Some(r) = self.deconv.get(&key) {
+            self.stats.deconv_hits += 1;
+            return r.clone();
+        }
+        self.stats.deconv_misses += 1;
+        let out = min_plus_deconv(f.curve(), g.curve());
+        let r = self.intern(&out);
+        self.deconv.insert(key, r.clone());
+        r
+    }
+
+    /// Memoized sub-additive closure, keyed on `(curve, max_iter)`.
+    pub fn closure_ref(&mut self, f: &CurveRef, max_iter: usize) -> Closure {
+        let key = (f.id(), max_iter);
+        if let Some((c, converged, iterations)) = self.closure.get(&key) {
+            self.stats.closure_hits += 1;
+            return Closure {
+                curve: c.curve().clone(),
+                converged: *converged,
+                iterations: *iterations,
+            };
+        }
+        self.stats.closure_misses += 1;
+        let out = subadditive_closure(f.curve(), max_iter);
+        let r = self.intern(&out.curve);
+        self.closure.insert(key, (r, out.converged, out.iterations));
+        out
+    }
+
+    /// Convenience: intern-then-closure on a plain curve.
+    pub fn closure(&mut self, f: &Curve, max_iter: usize) -> Closure {
+        let fr = self.intern(f);
+        self.closure_ref(&fr, max_iter)
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Mutable access to the counters (used by the pipeline prefix memo
+    /// to account its hits alongside the operator counters).
+    pub(crate) fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+}
+
+impl CurveOps for CurveCache {
+    fn conv(&mut self, f: &Curve, g: &Curve) -> Curve {
+        let (fr, gr) = (self.intern(f), self.intern(g));
+        self.conv_ref(&fr, &gr).curve().clone()
+    }
+    fn deconv(&mut self, f: &Curve, g: &Curve) -> Curve {
+        let (fr, gr) = (self.intern(f), self.intern(g));
+        self.deconv_ref(&fr, &gr).curve().clone()
+    }
+    fn packetized_service(&mut self, rate: Rat, latency: Rat, l_out: Rat) -> Curve {
+        let key = (rate, latency, l_out);
+        if let Some(r) = self.pack.get(&key) {
+            self.stats.pack_hits += 1;
+            return r.curve().clone();
+        }
+        self.stats.pack_misses += 1;
+        let out = packetize_direct(rate, latency, l_out);
+        let r = self.intern(&out);
+        self.pack.insert(key, r);
+        out
+    }
+    fn backlog(&mut self, f: &Curve, g: &Curve) -> Value {
+        let key = (self.intern(f).id(), self.intern(g).id());
+        if let Some(&v) = self.backlog.get(&key) {
+            self.stats.bound_hits += 1;
+            return v;
+        }
+        self.stats.bound_misses += 1;
+        let v = backlog_bound(f, g);
+        self.backlog.insert(key, v);
+        v
+    }
+    fn delay(&mut self, f: &Curve, g: &Curve) -> Value {
+        let key = (self.intern(f).id(), self.intern(g).id());
+        if let Some(&v) = self.delay.get(&key) {
+            self.stats.bound_hits += 1;
+            return v;
+        }
+        self.stats.bound_misses += 1;
+        let v = delay_bound(f, g);
+        self.delay.insert(key, v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::shapes;
+    use crate::num::Rat;
+
+    fn lb(r: i64, b: i64) -> Curve {
+        shapes::leaky_bucket(Rat::int(r), Rat::int(b))
+    }
+    fn rl(r: i64, t: i64) -> Curve {
+        shapes::rate_latency(Rat::int(r), Rat::int(t))
+    }
+
+    #[test]
+    fn interning_dedups_structural_equals() {
+        let mut cache = CurveCache::new();
+        let a = cache.intern(&lb(2, 5));
+        let b = cache.intern(&lb(2, 5)); // built independently
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        let c = cache.intern(&lb(2, 6));
+        assert_ne!(a, c);
+        assert_eq!(cache.stats().interned, 2);
+    }
+
+    #[test]
+    fn conv_memo_hits_and_matches_direct() {
+        let mut cache = CurveCache::new();
+        let (f, g) = (lb(2, 5), rl(3, 4));
+        let first = cache.conv(&f, &g);
+        assert_eq!(first, min_plus_conv(&f, &g));
+        let again = cache.conv(&f, &g);
+        assert_eq!(first, again);
+        // Commutative: the swapped order hits the same entry.
+        let swapped = cache.conv(&g, &f);
+        assert_eq!(first, swapped);
+        let s = cache.stats();
+        assert_eq!((s.conv_misses, s.conv_hits), (1, 2));
+    }
+
+    #[test]
+    fn deconv_key_is_ordered() {
+        let mut cache = CurveCache::new();
+        let (f, g) = (lb(2, 5), rl(3, 4));
+        assert_eq!(cache.deconv(&f, &g), min_plus_deconv(&f, &g));
+        assert_eq!(cache.deconv(&g, &f), min_plus_deconv(&g, &f));
+        let s = cache.stats();
+        assert_eq!((s.deconv_misses, s.deconv_hits), (2, 0));
+    }
+
+    #[test]
+    fn closure_memoized_with_iteration_budget() {
+        let mut cache = CurveCache::new();
+        let b = rl(3, 2);
+        let c1 = cache.closure(&b, 16);
+        let c2 = cache.closure(&b, 16);
+        assert_eq!(c1.curve, c2.curve);
+        assert_eq!(c1.converged, c2.converged);
+        assert_eq!(c1.iterations, c2.iterations);
+        // A different budget is a different entry.
+        let _ = cache.closure(&b, 1);
+        let s = cache.stats();
+        assert_eq!((s.closure_misses, s.closure_hits), (2, 1));
+    }
+
+    #[test]
+    fn interned_results_are_shared() {
+        let mut cache = CurveCache::new();
+        let (f, g) = (cache.intern(&lb(2, 5)), cache.intern(&rl(3, 4)));
+        let c1 = cache.conv_ref(&f, &g);
+        // The memoized result is itself interned: re-deriving the same
+        // curve through a different route reuses the allocation.
+        let c2 = cache.intern(&min_plus_conv(&f, &g));
+        assert_eq!(c1.id(), c2.id());
+    }
+}

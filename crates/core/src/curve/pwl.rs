@@ -27,7 +27,7 @@ use crate::num::{Rat, Value};
 
 /// One breakpoint of a piecewise-linear curve; see the module docs for
 /// the exact semantics.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Breakpoint {
     /// Abscissa. The first breakpoint always has `x = 0`.
     pub x: Rat,
@@ -83,7 +83,12 @@ impl fmt::Display for CurveError {
 impl std::error::Error for CurveError {}
 
 /// A piecewise-linear, ultimately-affine function on `[0, ∞)`.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Equality and hashing are structural over the simplified breakpoint
+/// list, so two curves compare (and hash) equal exactly when they are
+/// the same function — the property the hash-consing interner in
+/// [`crate::cache`] relies on.
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Curve {
     bps: Vec<Breakpoint>,
 }

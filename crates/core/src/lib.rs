@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod cache;
 pub mod curve;
 pub mod num;
 pub mod ops;
@@ -35,6 +36,7 @@ pub mod pipeline;
 pub mod units;
 
 pub use bounds::{analyze_node, NodeBounds, Regime};
+pub use cache::{CacheStats, CurveCache, CurveOps, DirectOps};
 pub use curve::{Breakpoint, Curve, CurveError};
 pub use num::{rat, Rat, Value};
 pub use ops::{min_plus_conv, min_plus_deconv};

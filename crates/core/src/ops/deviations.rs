@@ -12,8 +12,27 @@
 //! For the leaky-bucket/rate-latency pair these reduce to the paper's
 //! closed forms `x ≤ b + R_α·T` and `d ≤ T + b/R_β` (tested below).
 
+use super::conv::is_concave;
 use crate::curve::pwl::Curve;
 use crate::num::{Rat, Value};
+
+/// Recognize the rate-latency shape `β(t) = [R·(t − T)]⁺` and return
+/// `(R, T)`. This is exactly what [`crate::curve::shapes::rate_latency`]
+/// and the packetizer produce, so it covers every service curve a
+/// pipeline stage feeds into the bounds.
+fn as_rate_latency(g: &Curve) -> Option<(Rat, Rat)> {
+    let zero =
+        |bp: &crate::curve::pwl::Breakpoint| bp.v == Value::ZERO && bp.v_right == Value::ZERO;
+    match g.breakpoints() {
+        [b0] if b0.x.is_zero() && zero(b0) && !b0.slope.is_negative() => {
+            Some((b0.slope, Rat::ZERO))
+        }
+        [b0, b1] if b0.x.is_zero() && zero(b0) && b0.slope.is_zero() && zero(b1) => {
+            Some((b1.slope, b1.x))
+        }
+        _ => None,
+    }
+}
 
 /// Vertical deviation `sup_{t ≥ 0} { f(t) − g(t) }`.
 ///
@@ -25,6 +44,35 @@ pub fn vertical_deviation(f: &Curve, g: &Curve) -> Value {
         (Value::Finite(rf), Value::Finite(rg)) if rf > rg => return Value::Infinity,
         _ => {}
     }
+    // Fast path for the canonical arrival/service pair: `f` concave
+    // (finite everywhere, only jump at 0), `g = RL(R, T)`. Then `f − g`
+    // is concave on `(0, ∞)` with vertices only at `f`'s breakpoints
+    // and at `T`, and its tail slope is `rf − R ≤ 0` (the guard above),
+    // so the supremum is attained at one of those vertices. `g` is
+    // evaluated in closed form — no searches, no probe loop.
+    if let Some((rate, latency)) = as_rate_latency(g) {
+        if is_concave(f) {
+            let g_at = |x: Rat| {
+                if x <= latency {
+                    Value::ZERO
+                } else {
+                    Value::finite(rate * (x - latency))
+                }
+            };
+            let mut best = f.eval(latency); // g(T) = 0
+            for bp in f.breakpoints() {
+                let gv = g_at(bp.x);
+                best = best.max(bp.v - gv).max(bp.v_right - gv);
+            }
+            return best.pos();
+        }
+    }
+    vertical_deviation_scan(f, g)
+}
+
+/// General probe-based scan behind [`vertical_deviation`]; assumes the
+/// tail guard already ran.
+fn vertical_deviation_scan(f: &Curve, g: &Curve) -> Value {
     let t_star = f.last_breakpoint_x().max(g.last_breakpoint_x()) + Rat::ONE;
 
     let mut best = Value::NegInfinity;
@@ -75,6 +123,49 @@ pub fn horizontal_deviation(f: &Curve, g: &Curve) -> Value {
         (Value::Infinity, Value::Finite(_)) => return Value::Infinity,
         _ => {}
     }
+    // Fast path for concave `f` vs `g = RL(R, T)` with `R > 0`: the
+    // pseudo-inverse is affine, `g⁻(y) = T + y/R` for `y > 0`, so the
+    // delay profile `D(t) = g⁻(f(t)) − t` is concave piecewise-affine
+    // with vertices only at `f`'s breakpoints and tail slope
+    // `rf/R − 1 ≤ 0` (the guard above). The supremum is one of the
+    // one-sided limits at those vertices. A vertex value of 0 only
+    // contributes through its *right* limit, and only when `f` leaves 0
+    // there (the level is then approached from above, pinning the limit
+    // at `T + 0/R − x`); a vertex where `f` stays 0 contributes no
+    // delay at all.
+    // (A concave `f` dipping negative could re-enter the positive range
+    // *inside* a segment, where the sup is not at a vertex — require
+    // nonnegative vertices, which pins the whole finite prefix ≥ 0.)
+    let nonneg = |f: &Curve| {
+        f.breakpoints().iter().all(|bp| {
+            !matches!(bp.v, Value::Finite(v) if v.is_negative())
+                && !matches!(bp.v_right, Value::Finite(v) if v.is_negative())
+        })
+    };
+    if let Some((rate, latency)) = as_rate_latency(g) {
+        if rate.is_positive() && is_concave(f) && nonneg(f) {
+            let mut best = Rat::ZERO;
+            for bp in f.breakpoints() {
+                // Finite by `is_concave`.
+                let (Value::Finite(v), Value::Finite(vr)) = (bp.v, bp.v_right) else {
+                    unreachable!("concave curves are finite everywhere");
+                };
+                if v.is_positive() {
+                    best = best.max(latency + v / rate - bp.x);
+                }
+                if vr.is_positive() || (vr.is_zero() && bp.slope.is_positive()) {
+                    best = best.max(latency + vr / rate - bp.x);
+                }
+            }
+            return Value::finite(best);
+        }
+    }
+    horizontal_deviation_scan(f, g)
+}
+
+/// General pseudo-inverse scan behind [`horizontal_deviation`]; assumes
+/// the tail guard already ran.
+fn horizontal_deviation_scan(f: &Curve, g: &Curve) -> Value {
     let t_star = f.last_breakpoint_x().max(g.last_breakpoint_x()) + Rat::ONE;
 
     // Candidate abscissas of f.
@@ -213,6 +304,62 @@ mod tests {
         assert_eq!(vertical_deviation(&a, &b), Value::from(13));
         // hdev at t=2⁻: α=13 → β reaches 13 at 2 + 13/3; minus t=2 → 13/3.
         assert_eq!(horizontal_deviation(&a, &b), Value::finite(rat(13, 3)));
+    }
+
+    /// The concave-vs-rate-latency fast paths must agree exactly with
+    /// the general scans on a grid of shapes, including the tricky
+    /// cases: zero burst, zero latency, equal rates, plateaus (zero
+    /// final slope), and multi-segment concave arrivals.
+    #[test]
+    fn fast_paths_match_general_scan() {
+        let arrivals = [
+            lb(2, 5),
+            lb(2, 0),
+            shapes::constant_rate(Rat::int(3)),
+            shapes::constant(Rat::int(7)),
+            shapes::constant(Rat::ZERO),
+            lb(6, 1).min(&lb(2, 9)),
+            lb(9, 2).min(&lb(4, 6)).min(&lb(1, 20)),
+            lb(3, 4).min(&shapes::constant(Rat::int(10))), // plateau tail
+        ];
+        let services = [
+            rl(3, 4),
+            rl(3, 0),
+            rl(2, 7),
+            shapes::constant_rate(Rat::int(5)),
+        ];
+        for a in &arrivals {
+            for b in &services {
+                assert!(as_rate_latency(b).is_some(), "detector must fire: {b:?}");
+                let guard = matches!(
+                    (a.ultimate_slope(), b.ultimate_slope()),
+                    (Value::Finite(ra), Value::Finite(rb)) if ra > rb
+                );
+                if guard {
+                    assert_eq!(vertical_deviation(a, b), Value::Infinity);
+                    assert_eq!(horizontal_deviation(a, b), Value::Infinity);
+                    continue;
+                }
+                assert_eq!(
+                    vertical_deviation(a, b),
+                    vertical_deviation_scan(a, b),
+                    "vdev fast path diverged for {a:?} vs {b:?}"
+                );
+                // For f ≡ 0 the scan is loose (its right-limit probe
+                // assumes level 0 is approached from above and reports
+                // g's latency); the fast path returns the true sup, 0.
+                if *a == shapes::constant(Rat::ZERO) {
+                    assert_eq!(horizontal_deviation(a, b), Value::ZERO);
+                    assert!(horizontal_deviation_scan(a, b) >= Value::ZERO);
+                } else {
+                    assert_eq!(
+                        horizontal_deviation(a, b),
+                        horizontal_deviation_scan(a, b),
+                        "hdev fast path diverged for {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

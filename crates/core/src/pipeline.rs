@@ -34,18 +34,21 @@
 //! range), and horizon-based throughput bounds matching the paper's
 //! Tables 1 and 3.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::bounds::{self, Regime};
+use crate::cache::{CacheStats, CurveCache, CurveOps, DirectOps};
 use crate::curve::{shapes, Curve};
 use crate::num::{Rat, Value};
 use crate::ops::{min_plus_conv, min_plus_deconv};
-use crate::packetizer;
 
 /// What a pipeline stage physically is. The network-calculus treatment
 /// is identical (that is the paper's point); the discrete-event
 /// simulator and reports use the distinction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum NodeKind {
     /// A computation stage (CPU/GPU/FPGA kernel).
     Compute,
@@ -233,6 +236,75 @@ impl Pipeline {
     /// Panics if the pipeline is invalid; call [`Pipeline::validate`]
     /// first for a recoverable error.
     pub fn build_model(&self) -> PipelineModel {
+        self.build_model_with(&mut DirectOps)
+    }
+
+    /// Build the model reusing `cache` across calls.
+    ///
+    /// Identical results to [`Pipeline::build_model`] (the per-stage
+    /// analysis is the same code, and the memoized operators are exact
+    /// — see [`crate::cache`]), but two layers of work are shared with
+    /// previous builds against the same cache:
+    ///
+    /// * **prefix reuse** — the cascade analysis of the longest leading
+    ///   run of stages whose parameters (and source) match a previous
+    ///   build is replayed from the memo instead of re-derived, so a
+    ///   sweep that varies only stage `k` re-analyzes only stages
+    ///   `k..n`;
+    /// * **operator memoization** — every `⊗`/`⊘` on curves already
+    ///   seen by the cache (e.g. the unchanged suffix service curves in
+    ///   the concatenation fold) is a hash-map lookup.
+    ///
+    /// # Panics
+    /// Panics if the pipeline is invalid.
+    pub fn build_model_cached(&self, cache: &mut ModelCache) -> PipelineModel {
+        if let Err(e) = self.validate() {
+            panic!("Pipeline::build_model_cached on invalid pipeline: {e}");
+        }
+        let norms = self.normalization_factors();
+        let arrival = shapes::leaky_bucket(self.source.rate, self.source.burst);
+        let sigs: Arc<[StageSig]> = self.nodes.iter().map(StageSig::of).collect();
+        let key_of = |len: usize| PrefixKey {
+            source_rate: self.source.rate,
+            source_burst: self.source.burst,
+            len,
+            stages: Arc::clone(&sigs),
+        };
+        let ModelCache { curves, prefixes } = cache;
+
+        // Longest previously analyzed prefix of this cascade.
+        let mut st = CascadeState::start(&self.source, &arrival);
+        let mut models: Vec<Arc<NodeModel>> = Vec::with_capacity(self.nodes.len());
+        let mut start = 0;
+        for len in (1..=self.nodes.len()).rev() {
+            if let Some(e) = prefixes.get(&key_of(len)) {
+                st = e.state.clone();
+                models = e.models.clone();
+                start = len;
+                curves.stats_mut().prefix_hits += 1;
+                break;
+            }
+        }
+        if start == 0 {
+            curves.stats_mut().prefix_misses += 1;
+        }
+
+        // Analyze the remaining stages, memoizing every new prefix.
+        for (i, (node, norm)) in self.nodes.iter().zip(&norms).enumerate().skip(start) {
+            models.push(Arc::new(stage_step(node, *norm, &mut st, curves)));
+            prefixes.insert(
+                key_of(i + 1),
+                PrefixEntry {
+                    state: st.clone(),
+                    models: models.clone(),
+                },
+            );
+        }
+
+        self.assemble(arrival, models, st)
+    }
+
+    fn build_model_with(&self, ops: &mut dyn CurveOps) -> PipelineModel {
         if let Err(e) = self.validate() {
             panic!("Pipeline::build_model on invalid pipeline: {e}");
         }
@@ -242,82 +314,25 @@ impl Pipeline {
         let arrival = shapes::leaky_bucket(self.source.rate, self.source.burst);
 
         // Per-node curves and the §3 aggregation-latency recurrence.
-        let mut per_node: Vec<NodeModel> = Vec::with_capacity(self.nodes.len());
-        let mut t_tot = Rat::ZERO;
-        let mut upstream_arrival_rate = self.source.rate;
-        let mut upstream_job_out = self.source.burst; // b*_{n-1}
-        let mut cascade_arrival = arrival.clone();
-
+        let mut st = CascadeState::start(&self.source, &arrival);
+        let mut per_node: Vec<Arc<NodeModel>> = Vec::with_capacity(self.nodes.len());
         for (i, n) in self.nodes.iter().enumerate() {
-            let norm = norms[i];
-            let r_min = n.rates.min * norm;
-            let r_avg = n.rates.avg * norm;
-            let r_max = n.rates.max * norm;
-            let b_in = n.job_in * norm; // input-referred job size b_n
-            let l_out = n.job_out * norm * n.job_ratio(); // = b_in: emitted block, input-referred
-
-            // §3 recurrence: collection time applies when this node
-            // gathers more than the upstream emits per burst.
-            let collect = if b_in > upstream_job_out {
-                b_in / upstream_arrival_rate
-            } else {
-                Rat::ZERO
-            };
-            t_tot = t_tot + collect + n.latency;
-
-            // Packetized service curve: β'_n = [R_min (t − T_n)]⁺ − l ... ⁺
-            let beta = packetizer::packetize_service(
-                &shapes::rate_latency(r_min, n.latency + collect),
-                l_out,
-            );
-            let gamma = shapes::constant_rate(r_max);
-
-            // Bounds for this node against the cascaded arrival.
-            let regime = bounds::classify_regime(&cascade_arrival, &beta);
-            let nb = bounds::analyze_node(&cascade_arrival, &beta, Some(&gamma));
-
-            // Arrival seen by the next node: the output bound when the
-            // node keeps up; otherwise the flow is capped by the
-            // service rate (fluid flow analysis — bounds are infinite
-            // but throughput is still defined, §3). The conservative
-            // relaxation caps coordinate growth across long cascades of
-            // measured (near-coprime) rates without ever tightening an
-            // upper bound.
-            let next_arrival = match regime {
-                Regime::Overloaded => shapes::leaky_bucket(r_min, l_out.max(upstream_job_out)),
-                _ => nb.output.relax_up(1_000_000),
-            };
-            let next_rate = match next_arrival.ultimate_slope() {
-                Value::Finite(r) => r,
-                Value::Infinity => upstream_arrival_rate,
-                Value::NegInfinity => unreachable!("arrival curves are nonnegative"),
-            };
-
-            per_node.push(NodeModel {
-                name: n.name.clone(),
-                kind: n.kind,
-                normalization: norm,
-                rate_min: r_min,
-                rate_avg: r_avg,
-                rate_max: r_max,
-                job_in_normalized: b_in,
-                collection_latency: collect,
-                arrival: cascade_arrival.clone(),
-                service: beta,
-                max_service: gamma,
-                backlog: nb.backlog,
-                delay: nb.delay,
-                regime,
-            });
-
-            cascade_arrival = next_arrival;
-            upstream_arrival_rate = next_rate;
-            upstream_job_out = l_out;
+            per_node.push(Arc::new(stage_step(n, norms[i], &mut st, ops)));
         }
+        self.assemble(arrival, per_node, st)
+    }
 
-        // Aggregate single-node view (the paper's §5 "combine all
-        // stages of the pipeline to create a single node"): bottleneck
-        // min rate with the recurrence latency.
+    /// System-level aggregation over the analyzed stages (the paper's
+    /// §5 "combine all stages of the pipeline to create a single
+    /// node"): bottleneck min rate with the recurrence latency, plus
+    /// the exact concatenated service.
+    fn assemble(
+        &self,
+        arrival: Curve,
+        per_node: Vec<Arc<NodeModel>>,
+        st: CascadeState,
+    ) -> PipelineModel {
+        let t_tot = st.t_tot;
         let r_bottleneck_min = per_node
             .iter()
             .map(|m| m.rate_min)
@@ -335,11 +350,9 @@ impl Pipeline {
             .expect("non-empty pipeline");
         let service_aggregate = shapes::rate_latency(r_bottleneck_min, t_tot);
 
-        // Exact concatenation: convolution of every per-node service.
-        let mut service_concat = per_node[0].service.clone();
-        for m in &per_node[1..] {
-            service_concat = min_plus_conv(&service_concat, &m.service);
-        }
+        // Exact concatenation: folded stage by stage in `stage_step`
+        // (so cached sweeps share the prefix of the fold).
+        let service_concat = st.service_concat.expect("non-empty pipeline");
         let max_service = shapes::constant_rate(r_bottleneck_max);
 
         PipelineModel {
@@ -354,6 +367,222 @@ impl Pipeline {
             bottleneck_rate_avg: r_bottleneck_avg,
             bottleneck_rate_max: r_bottleneck_max,
         }
+    }
+}
+
+/// Cascade accumulator threaded through the per-stage analysis.
+#[derive(Clone)]
+struct CascadeState {
+    /// Running `T_n^tot` of the §3 recurrence.
+    t_tot: Rat,
+    /// Sustained rate of the flow entering the current node.
+    upstream_arrival_rate: Rat,
+    /// Emitted block size of the upstream stage (`b*_{n−1}`),
+    /// input-referred; seeds from the source burst.
+    upstream_job_out: Rat,
+    /// Arrival curve entering the current node.
+    cascade_arrival: Curve,
+    /// Running concatenation `β_0 ⊗ … ⊗ β_{n−1}` of the analyzed
+    /// stages. Folded here (rather than re-folded in `assemble`) so the
+    /// prefix memo carries the partial convolution and a sweep point
+    /// that varies only the last stage performs a single new ⊗.
+    service_concat: Option<Curve>,
+}
+
+impl CascadeState {
+    fn start(source: &Source, arrival: &Curve) -> CascadeState {
+        CascadeState {
+            t_tot: Rat::ZERO,
+            upstream_arrival_rate: source.rate,
+            upstream_job_out: source.burst,
+            cascade_arrival: arrival.clone(),
+            service_concat: None,
+        }
+    }
+}
+
+/// Analyze one stage against the cascade state, advancing the state to
+/// the next node. This is the single implementation behind both the
+/// direct and the cached model builds, so the two agree exactly.
+fn stage_step(n: &Node, norm: Rat, st: &mut CascadeState, ops: &mut dyn CurveOps) -> NodeModel {
+    let r_min = n.rates.min * norm;
+    let r_avg = n.rates.avg * norm;
+    let r_max = n.rates.max * norm;
+    let b_in = n.job_in * norm; // input-referred job size b_n
+    let l_out = n.job_out * norm * n.job_ratio(); // = b_in: emitted block, input-referred
+
+    // §3 recurrence: collection time applies when this node gathers
+    // more than the upstream emits per burst.
+    let collect = if b_in > st.upstream_job_out {
+        b_in / st.upstream_arrival_rate
+    } else {
+        Rat::ZERO
+    };
+    st.t_tot = st.t_tot + collect + n.latency;
+
+    // Packetized service curve: β'_n = [R_min (t − T_n)]⁺ − l ... ⁺
+    let beta = ops.packetized_service(r_min, n.latency + collect, l_out);
+    let gamma = shapes::constant_rate(r_max);
+
+    // Bounds for this node against the cascaded arrival (inlined
+    // `bounds::analyze_node` routed through `ops` so cached builds memo
+    // the packetization, the bound values, and the output-bound
+    // convolutions).
+    let regime = bounds::classify_regime(&st.cascade_arrival, &beta);
+    let backlog = ops.backlog(&st.cascade_arrival, &beta);
+    let delay = ops.delay(&st.cascade_arrival, &beta);
+    let ag = ops.conv(&st.cascade_arrival, &gamma);
+    let output = ops.deconv(&ag, &beta);
+
+    // Arrival seen by the next node: the output bound when the node
+    // keeps up; otherwise the flow is capped by the service rate (fluid
+    // flow analysis — bounds are infinite but throughput is still
+    // defined, §3). The conservative relaxation caps coordinate growth
+    // across long cascades of measured (near-coprime) rates without
+    // ever tightening an upper bound.
+    let next_arrival = match regime {
+        Regime::Overloaded => shapes::leaky_bucket(r_min, l_out.max(st.upstream_job_out)),
+        _ => output.relax_up(1_000_000),
+    };
+    let next_rate = match next_arrival.ultimate_slope() {
+        Value::Finite(r) => r,
+        Value::Infinity => st.upstream_arrival_rate,
+        Value::NegInfinity => unreachable!("arrival curves are nonnegative"),
+    };
+
+    let model = NodeModel {
+        name: n.name.clone(),
+        kind: n.kind,
+        normalization: norm,
+        rate_min: r_min,
+        rate_avg: r_avg,
+        rate_max: r_max,
+        job_in_normalized: b_in,
+        collection_latency: collect,
+        arrival: st.cascade_arrival.clone(),
+        service: beta,
+        max_service: gamma,
+        backlog,
+        delay,
+        regime,
+    };
+
+    st.service_concat = Some(match st.service_concat.take() {
+        Some(prefix) => ops.conv(&prefix, &model.service),
+        None => model.service.clone(),
+    });
+    st.cascade_arrival = next_arrival;
+    st.upstream_arrival_rate = next_rate;
+    st.upstream_job_out = l_out;
+    model
+}
+
+/// The parameters of one stage that determine its analysis given the
+/// upstream cascade state — the per-stage component of a prefix key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct StageSig {
+    name: String,
+    kind: NodeKind,
+    min: Rat,
+    avg: Rat,
+    max: Rat,
+    latency: Rat,
+    job_in: Rat,
+    job_out: Rat,
+}
+
+impl StageSig {
+    fn of(n: &Node) -> StageSig {
+        StageSig {
+            name: n.name.clone(),
+            kind: n.kind,
+            min: n.rates.min,
+            avg: n.rates.avg,
+            max: n.rates.max,
+            latency: n.latency,
+            job_in: n.job_in,
+            job_out: n.job_out,
+        }
+    }
+}
+
+/// Key identifying the analysis of a leading run of stages: the source
+/// constraint plus the first `len` stage parameters in order. Two
+/// pipelines with equal keys have byte-identical cascade analyses for
+/// that prefix.
+///
+/// All keys derived from one build share a single `Arc<[StageSig]>` of
+/// the full signature vector, so constructing the key for each prefix
+/// length during lookup is allocation-free; `Hash`/`Eq` only consider
+/// `stages[..len]`.
+#[derive(Clone)]
+struct PrefixKey {
+    source_rate: Rat,
+    source_burst: Rat,
+    len: usize,
+    stages: Arc<[StageSig]>,
+}
+
+impl PrefixKey {
+    fn prefix(&self) -> &[StageSig] {
+        &self.stages[..self.len]
+    }
+}
+
+impl PartialEq for PrefixKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.source_rate == other.source_rate
+            && self.source_burst == other.source_burst
+            && self.len == other.len
+            && ((Arc::ptr_eq(&self.stages, &other.stages)) || self.prefix() == other.prefix())
+    }
+}
+impl Eq for PrefixKey {}
+
+impl std::hash::Hash for PrefixKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.source_rate.hash(state);
+        self.source_burst.hash(state);
+        self.len.hash(state);
+        for sig in self.prefix() {
+            sig.hash(state);
+        }
+    }
+}
+
+/// Memoized cascade analysis of one prefix: the state entering the next
+/// stage plus the per-node models so far (shared, not cloned, between
+/// the entries of nested prefixes).
+struct PrefixEntry {
+    state: CascadeState,
+    models: Vec<Arc<NodeModel>>,
+}
+
+/// Reusable state for [`Pipeline::build_model_cached`]: a
+/// [`CurveCache`] for the min-plus operators plus a memo of analyzed
+/// pipeline prefixes. Use one per worker thread in parallel sweeps.
+#[derive(Default)]
+pub struct ModelCache {
+    curves: CurveCache,
+    prefixes: HashMap<PrefixKey, PrefixEntry, crate::cache::FxBuildHasher>,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> ModelCache {
+        ModelCache::default()
+    }
+
+    /// The underlying curve cache, for memoizing further operator calls
+    /// against built models (e.g. [`PipelineModel::throughput_over_with`]).
+    pub fn curves(&mut self) -> &mut CurveCache {
+        &mut self.curves
+    }
+
+    /// Counters accumulated since construction (operator hits/misses,
+    /// interned curves, and pipeline prefix reuse).
+    pub fn stats(&self) -> CacheStats {
+        self.curves.stats()
     }
 }
 
@@ -405,8 +634,10 @@ pub struct PipelineModel {
     pub service_concat: Curve,
     /// System maximum service curve `γ`.
     pub max_service: Curve,
-    /// Per-node artifacts in flow order.
-    pub per_node: Vec<NodeModel>,
+    /// Per-node artifacts in flow order. `Arc`-shared so cached builds
+    /// can return memoized prefix models without deep-cloning them;
+    /// reads deref transparently.
+    pub per_node: Vec<Arc<NodeModel>>,
     /// Total latency `T_N^tot` from the §3 recurrence.
     pub total_latency: Rat,
     /// Bottleneck normalized min rate.
@@ -446,9 +677,28 @@ impl PipelineModel {
         bounds::delay_bound(&self.arrival, &self.service)
     }
 
+    /// [`PipelineModel::backlog_bound`] through an operator provider, so
+    /// sweeps evaluating many models against a [`CurveCache`] memoize
+    /// the bound per `(arrival, service)` pair.
+    pub fn backlog_bound_with(&self, ops: &mut dyn CurveOps) -> Value {
+        ops.backlog(&self.arrival, &self.service)
+    }
+
+    /// [`PipelineModel::delay_bound`] through an operator provider.
+    pub fn delay_bound_with(&self, ops: &mut dyn CurveOps) -> Value {
+        ops.delay(&self.arrival, &self.service)
+    }
+
     /// System output flow bound `α* = (α ⊗ γ) ⊘ β`.
     pub fn output_bound(&self) -> Curve {
         bounds::output_bound_with_max(&self.arrival, &self.max_service, &self.service)
+    }
+
+    /// [`PipelineModel::output_bound`] through an operator provider, so
+    /// repeated evaluations against a [`CurveCache`] are memo lookups.
+    pub fn output_bound_with(&self, ops: &mut dyn CurveOps) -> Curve {
+        let ag = ops.conv(&self.arrival, &self.max_service);
+        ops.deconv(&ag, &self.service)
     }
 
     /// Same bounds computed against the exact concatenated service
@@ -463,6 +713,18 @@ impl PipelineModel {
         bounds::delay_bound(&self.arrival, &self.service_concat)
     }
 
+    /// [`PipelineModel::backlog_bound_concat`] through an operator
+    /// provider.
+    pub fn backlog_bound_concat_with(&self, ops: &mut dyn CurveOps) -> Value {
+        ops.backlog(&self.arrival, &self.service_concat)
+    }
+
+    /// [`PipelineModel::delay_bound_concat`] through an operator
+    /// provider.
+    pub fn delay_bound_concat_with(&self, ops: &mut dyn CurveOps) -> Value {
+        ops.delay(&self.arrival, &self.service_concat)
+    }
+
     /// System operating regime.
     pub fn regime(&self) -> Regime {
         bounds::classify_regime(&self.arrival, &self.service)
@@ -474,18 +736,63 @@ impl PipelineModel {
     /// # Panics
     /// Panics if `horizon ≤ 0`.
     pub fn throughput_over(&self, horizon: Rat) -> ThroughputBounds {
+        self.throughput_over_with(&mut DirectOps, horizon)
+    }
+
+    /// [`PipelineModel::throughput_over`] through an operator provider.
+    /// Sampling many horizons against a [`CurveCache`] computes the
+    /// underlying `α ⊗ β` and `(α ⊗ γ) ⊘ β` once and re-evaluates the
+    /// memoized curves per horizon.
+    ///
+    /// # Panics
+    /// Panics if `horizon ≤ 0`.
+    pub fn throughput_over_with(&self, ops: &mut dyn CurveOps, horizon: Rat) -> ThroughputBounds {
         assert!(horizon.is_positive(), "throughput horizon must be > 0");
         let inv = horizon.recip();
         let upper = self.arrival.eval(horizon).scale(inv);
-        let lower = min_plus_conv(&self.arrival, &self.service)
+        let lower = ops
+            .conv(&self.arrival, &self.service)
             .eval(horizon)
             .scale(inv);
-        let output_loose = self.output_bound().eval(horizon).scale(inv);
+        let output_loose = self.output_bound_with(ops).eval(horizon).scale(inv);
         ThroughputBounds {
             upper,
             lower,
             output_loose,
         }
+    }
+
+    /// [`PipelineModel::throughput_over`] batched over a horizon
+    /// ladder: the underlying `α ⊗ β` and `(α ⊗ γ) ⊘ β` curves are
+    /// computed once (through `ops`, so a [`CurveCache`] shares them
+    /// with other models too) and each horizon costs three curve
+    /// evaluations. Exactly equal, element-wise, to calling
+    /// [`PipelineModel::throughput_over`] per horizon.
+    ///
+    /// # Panics
+    /// Panics if any horizon is `≤ 0`.
+    pub fn throughput_profile_with(
+        &self,
+        ops: &mut dyn CurveOps,
+        horizons: &[Rat],
+    ) -> Vec<ThroughputBounds> {
+        if horizons.is_empty() {
+            return Vec::new();
+        }
+        let lower_curve = ops.conv(&self.arrival, &self.service);
+        let output_curve = self.output_bound_with(ops);
+        horizons
+            .iter()
+            .map(|&horizon| {
+                assert!(horizon.is_positive(), "throughput horizon must be > 0");
+                let inv = horizon.recip();
+                ThroughputBounds {
+                    upper: self.arrival.eval(horizon).scale(inv),
+                    lower: lower_curve.eval(horizon).scale(inv),
+                    output_loose: output_curve.eval(horizon).scale(inv),
+                }
+            })
+            .collect()
     }
 
     /// Largest sustainable source rate that keeps the system backlog
@@ -760,6 +1067,72 @@ mod tests {
         let backlogs = m.per_node_backlogs();
         assert_eq!(backlogs.len(), 2);
         assert!(backlogs.iter().all(|(_, b)| b.is_finite()));
+    }
+
+    #[test]
+    fn cached_build_matches_direct() {
+        let mut cache = ModelCache::new();
+        for burst in [4i64, 8, 16] {
+            let mut p = two_stage();
+            p.source.burst = Rat::int(burst);
+            let direct = p.build_model();
+            let cached = p.build_model_cached(&mut cache);
+            assert_eq!(cached.arrival, direct.arrival);
+            assert_eq!(cached.service, direct.service);
+            assert_eq!(cached.service_concat, direct.service_concat);
+            assert_eq!(cached.max_service, direct.max_service);
+            assert_eq!(cached.total_latency, direct.total_latency);
+            assert_eq!(cached.per_node.len(), direct.per_node.len());
+            for (c, d) in cached.per_node.iter().zip(&direct.per_node) {
+                assert_eq!(c.arrival, d.arrival);
+                assert_eq!(c.service, d.service);
+                assert_eq!(c.backlog, d.backlog);
+                assert_eq!(c.delay, d.delay);
+                assert_eq!(c.regime, d.regime);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_reuse_when_only_last_stage_varies() {
+        let mut cache = ModelCache::new();
+        let p = two_stage();
+        let _ = p.build_model_cached(&mut cache);
+        assert_eq!(cache.stats().prefix_misses, 1);
+
+        // Same pipeline again: the full prefix hits.
+        let _ = p.build_model_cached(&mut cache);
+        assert_eq!(cache.stats().prefix_hits, 1);
+
+        // Vary only the last stage: the leading prefix still hits, and
+        // the results match a fresh direct build.
+        let mut p2 = two_stage();
+        p2.nodes[1].rates = StageRates::fixed(Rat::int(5));
+        let cached = p2.build_model_cached(&mut cache);
+        assert_eq!(cache.stats().prefix_hits, 2);
+        let direct = p2.build_model();
+        assert_eq!(cached.service_concat, direct.service_concat);
+        assert_eq!(cached.per_node[1].backlog, direct.per_node[1].backlog);
+    }
+
+    #[test]
+    fn cached_throughput_matches_direct() {
+        let p = two_stage();
+        let m = p.build_model();
+        let mut cache = CurveCache::new();
+        for h in [1i64, 10, 100, 1000] {
+            let direct = m.throughput_over(Rat::int(h));
+            let cached = m.throughput_over_with(&mut cache, Rat::int(h));
+            assert_eq!(direct.upper, cached.upper);
+            assert_eq!(direct.lower, cached.lower);
+            assert_eq!(direct.output_loose, cached.output_loose);
+        }
+        // Here β (rate-latency with zero total latency) and γ (constant
+        // rate at the same bottleneck) are the same function, so the
+        // interner collapses α⊗β and α⊗γ into ONE conv entry: a single
+        // conv + deconv computed, everything else memo hits.
+        assert_eq!(cache.stats().op_misses(), 2);
+        assert!(cache.stats().op_hits() >= 10);
     }
 
     #[test]

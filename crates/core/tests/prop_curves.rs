@@ -323,3 +323,53 @@ proptest! {
         }
     }
 }
+
+// The cache-equivalence property runs in its own block with fewer
+// cases: each case pays for two sub-additive closures on a random
+// curve, by far the most expensive operator here, and 16 random
+// operand pairs already exercise every memo map on both the miss and
+// the hit path.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cached_ops_equal_uncached(
+        f in arb_zero_curve(),
+        g in arb_zero_curve(),
+        rate in 1i64..=64,
+        latency in 0i64..=16,
+        l_out in 0i64..=8,
+    ) {
+        // The hash-consed cache must be semantically invisible: every
+        // CurveOps method agrees exactly with the direct algorithms,
+        // both on the miss (first call) and on the memo hit (second
+        // call) — and interning must hand back the same function.
+        use nc_core::cache::{CurveCache, CurveOps, DirectOps};
+        let mut cache = CurveCache::new();
+        let mut direct = DirectOps;
+        for _round in 0..2 {
+            prop_assert_eq!(cache.conv(&f, &g), direct.conv(&f, &g));
+            prop_assert_eq!(cache.deconv(&f, &g), direct.deconv(&f, &g));
+            let (r, t, l) = (
+                rat(rate as i128, 4),
+                rat(latency as i128, 4),
+                rat(l_out as i128, 4),
+            );
+            prop_assert_eq!(
+                cache.packetized_service(r, t, l),
+                direct.packetized_service(r, t, l)
+            );
+            prop_assert_eq!(cache.backlog(&f, &g), direct.backlog(&f, &g));
+            prop_assert_eq!(cache.delay(&f, &g), direct.delay(&f, &g));
+        }
+        // Closure: one direct reference, two cached calls (miss + hit).
+        let reference = subadditive_closure(&f, 4).curve;
+        prop_assert_eq!(&cache.closure(&f, 4).curve, &reference);
+        prop_assert_eq!(&cache.closure(&f, 4).curve, &reference);
+        // Two rounds of five memoizable ops + a repeated closure: the
+        // second pass must be all hits.
+        let stats = cache.stats();
+        prop_assert!(stats.op_hits() >= 6, "second round should hit: {:?}", stats);
+        prop_assert_eq!(*cache.intern(&f).curve(), f.clone());
+    }
+}

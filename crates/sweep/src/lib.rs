@@ -1,0 +1,603 @@
+//! # nc-sweep — batch parameter-sweep engine for pipeline models
+//!
+//! The paper's real use case is not one analysis but many: block-size
+//! and link-rate what-ifs, offered-load sweeps across the three §3
+//! regimes, bounds surfaces for buffer provisioning. This crate turns a
+//! base [`Pipeline`] plus a set of parameter [`Axis`] definitions into
+//! a full cartesian grid of scenarios, evaluates every grid point
+//! (network-calculus bounds, horizon throughput rows, and optionally a
+//! discrete-event simulation), and returns a deterministic bounds
+//! surface.
+//!
+//! Evaluation fans out over `rayon`. Each worker thread carries its own
+//! [`ModelCache`] (hash-consed curves + memoized min-plus operators +
+//! pipeline-prefix reuse — see `nc_core::cache`) and its own
+//! reusable [`SimArena`], so neighbouring grid points share almost all
+//! of their analysis. Results are collected in grid order and contain
+//! no thread-dependent data: sweep output is byte-identical for any
+//! `RAYON_NUM_THREADS`, including 1.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nc_core::num::Rat;
+//! use nc_core::pipeline::{Node, NodeKind, Pipeline, Source, StageRates};
+//! use nc_sweep::{Axis, Param, SweepSpec};
+//!
+//! let base = Pipeline::new(
+//!     "demo",
+//!     Source { rate: Rat::int(80), burst: Rat::int(64) },
+//!     vec![Node::new(
+//!         "stage",
+//!         NodeKind::Compute,
+//!         StageRates::new(Rat::int(90), Rat::int(100), Rat::int(110)),
+//!         Rat::ZERO,
+//!         Rat::int(64),
+//!         Rat::int(64),
+//!     )],
+//! );
+//! let spec = SweepSpec {
+//!     base,
+//!     axes: vec![
+//!         Axis::linspace(Param::SourceRate, Rat::int(40), Rat::int(160), 5),
+//!         Axis::new(Param::BlockSize(0), vec![Rat::int(32), Rat::int(64)]),
+//!     ],
+//!     horizons: vec![Rat::int(1), Rat::int(100)],
+//!     sim: None,
+//! };
+//! let surface = nc_sweep::run(&spec);
+//! assert_eq!(surface.points.len(), 10);
+//! assert!(surface.stats.prefix_hits + surface.stats.prefix_misses >= 10);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::{Arc, Mutex};
+
+use rayon::prelude::*;
+
+use nc_core::bounds::Regime;
+use nc_core::cache::{CacheStats, CurveOps, DirectOps};
+use nc_core::num::{Rat, Value};
+use nc_core::pipeline::{ModelCache, Pipeline, PipelineModel, StageRates, ThroughputBounds};
+use nc_streamsim::{simulate, simulate_in, SimArena, SimConfig, SimResult};
+
+/// Which pipeline parameter an axis varies. Stage indices are 0-based
+/// positions in [`Pipeline::nodes`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Param {
+    /// Source sustained rate `R_α` (bytes/s) — the offered load.
+    SourceRate,
+    /// Source burst `b` (bytes).
+    SourceBurst,
+    /// Fixed throughput of a stage (sets min = avg = max) — e.g. a
+    /// link rate.
+    Rate(usize),
+    /// Scale a stage's measured min/avg/max throughput triple.
+    RateScale(usize),
+    /// Dispatch latency `T_n` of a stage (seconds).
+    Latency(usize),
+    /// Block size of a stage: sets `job_in = job_out` (bytes).
+    BlockSize(usize),
+    /// Compression ratio of a stage: sets `job_out = job_in / value`.
+    CompressionRatio(usize),
+}
+
+impl Param {
+    /// Stable column label for surfaces/CSV.
+    pub fn label(&self) -> String {
+        match self {
+            Param::SourceRate => "source_rate".into(),
+            Param::SourceBurst => "source_burst".into(),
+            Param::Rate(i) => format!("rate[{i}]"),
+            Param::RateScale(i) => format!("rate_scale[{i}]"),
+            Param::Latency(i) => format!("latency[{i}]"),
+            Param::BlockSize(i) => format!("block_size[{i}]"),
+            Param::CompressionRatio(i) => format!("compression[{i}]"),
+        }
+    }
+
+    /// Apply `value` to `p` in place.
+    ///
+    /// # Panics
+    /// Panics if the stage index is out of range.
+    pub fn apply(&self, p: &mut Pipeline, value: Rat) {
+        match *self {
+            Param::SourceRate => p.source.rate = value,
+            Param::SourceBurst => p.source.burst = value,
+            Param::Rate(i) => p.nodes[i].rates = StageRates::fixed(value),
+            Param::RateScale(i) => {
+                let r = p.nodes[i].rates;
+                p.nodes[i].rates = StageRates::new(r.min * value, r.avg * value, r.max * value);
+            }
+            Param::Latency(i) => p.nodes[i].latency = value,
+            Param::BlockSize(i) => {
+                p.nodes[i].job_in = value;
+                p.nodes[i].job_out = value;
+            }
+            Param::CompressionRatio(i) => {
+                p.nodes[i].job_out = p.nodes[i].job_in / value;
+            }
+        }
+    }
+}
+
+/// One sweep dimension: a parameter and the exact values it takes.
+#[derive(Clone, Debug)]
+pub struct Axis {
+    /// The varied parameter.
+    pub param: Param,
+    /// Grid values, in order.
+    pub values: Vec<Rat>,
+}
+
+impl Axis {
+    /// An axis over explicit values.
+    pub fn new(param: Param, values: Vec<Rat>) -> Axis {
+        assert!(!values.is_empty(), "axis needs at least one value");
+        Axis { param, values }
+    }
+
+    /// `n` evenly spaced exact-rational values from `from` to `to`
+    /// inclusive (`n = 1` yields just `from`).
+    pub fn linspace(param: Param, from: Rat, to: Rat, n: usize) -> Axis {
+        assert!(n >= 1, "linspace needs n >= 1");
+        let values = if n == 1 {
+            vec![from]
+        } else {
+            let step = (to - from) / Rat::int(n as i64 - 1);
+            (0..n).map(|k| from + step * Rat::int(k as i64)).collect()
+        };
+        Axis::new(param, values)
+    }
+}
+
+/// A full sweep: base pipeline, axes (cartesian product), throughput
+/// horizons to tabulate, and an optional simulation per grid point.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// The pipeline every grid point starts from.
+    pub base: Pipeline,
+    /// Sweep dimensions; the grid is their cartesian product with the
+    /// **last axis varying fastest** (row-major).
+    pub axes: Vec<Axis>,
+    /// Horizons for [`PipelineModel::throughput_over`]-style rows.
+    pub horizons: Vec<Rat>,
+    /// When set, run the DES with this config at every grid point (the
+    /// seed is used as-is, so results stay deterministic).
+    pub sim: Option<SimConfig>,
+}
+
+/// One point of the expanded grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridPoint {
+    /// Position in grid order.
+    pub index: usize,
+    /// One value per axis, aligned with [`SweepSpec::axes`].
+    pub coords: Vec<Rat>,
+}
+
+/// Expand the cartesian grid of a spec, row-major, last axis fastest.
+pub fn grid(spec: &SweepSpec) -> Vec<GridPoint> {
+    let total: usize = spec.axes.iter().map(|a| a.values.len()).product();
+    let mut points = Vec::with_capacity(total);
+    for index in 0..total {
+        let mut rem = index;
+        let mut coords = vec![Rat::ZERO; spec.axes.len()];
+        for (k, axis) in spec.axes.iter().enumerate().rev() {
+            let n = axis.values.len();
+            coords[k] = axis.values[rem % n];
+            rem /= n;
+        }
+        points.push(GridPoint { index, coords });
+    }
+    points
+}
+
+/// The pipeline at one grid point: the base with every axis value
+/// applied in axis order.
+pub fn pipeline_at(spec: &SweepSpec, point: &GridPoint) -> Pipeline {
+    let mut p = spec.base.clone();
+    for (axis, v) in spec.axes.iter().zip(&point.coords) {
+        axis.param.apply(&mut p, *v);
+    }
+    p
+}
+
+/// Scalar summary of one simulation run (the fields the paper's tables
+/// and the overload sweep read off the DES).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct SimSummary {
+    /// Mean throughput, input-referred bytes/s.
+    pub throughput: f64,
+    /// Steady-state throughput (fill/drain excluded).
+    pub steady_throughput: f64,
+    /// Peak data resident in the system, input-referred bytes.
+    pub peak_backlog: f64,
+    /// Longest observed end-to-end delay, seconds.
+    pub delay_max: f64,
+    /// Per-node busy fraction, flow order.
+    pub utilization: Vec<f64>,
+    /// Kernel events executed.
+    pub events: u64,
+}
+
+impl SimSummary {
+    fn of(r: &SimResult) -> SimSummary {
+        SimSummary {
+            throughput: r.throughput,
+            steady_throughput: r.steady_throughput,
+            peak_backlog: r.peak_backlog,
+            delay_max: r.delay_max,
+            utilization: r.per_node.iter().map(|n| n.utilization).collect(),
+            events: r.events,
+        }
+    }
+
+    /// Busiest stage's utilization (the simulated bottleneck).
+    pub fn max_utilization(&self) -> f64 {
+        self.utilization.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Everything evaluated at one grid point.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PointResult {
+    /// Grid-order index.
+    pub index: usize,
+    /// Axis values of this point.
+    pub coords: Vec<Rat>,
+    /// System operating regime.
+    pub regime: Regime,
+    /// System backlog bound (aggregate service curve), bytes.
+    pub backlog: Value,
+    /// System delay bound (aggregate), seconds.
+    pub delay: Value,
+    /// Backlog bound against the exact concatenated service, bytes.
+    pub backlog_concat: Value,
+    /// Delay bound against the exact concatenated service, seconds.
+    pub delay_concat: Value,
+    /// §3 overload-tolerant backlog estimate, bytes.
+    pub heuristic_backlog: Rat,
+    /// §3 overload-tolerant delay estimate, seconds.
+    pub heuristic_delay: Value,
+    /// Recurrence latency `T_N^tot`, seconds.
+    pub total_latency: Rat,
+    /// Bottleneck normalized min rate, bytes/s.
+    pub bottleneck_rate_min: Rat,
+    /// Throughput bounds per requested horizon.
+    pub throughput: Vec<ThroughputBounds>,
+    /// DES summary when [`SweepSpec::sim`] was set.
+    pub sim: Option<SimSummary>,
+}
+
+/// A completed sweep: the bounds surface plus cache telemetry.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Column label per axis.
+    pub axis_labels: Vec<String>,
+    /// Horizons tabulated per point.
+    pub horizons: Vec<Rat>,
+    /// One result per grid point, in grid order.
+    pub points: Vec<PointResult>,
+    /// Merged cache counters across worker threads (all zero for the
+    /// uncached baseline).
+    pub stats: CacheStats,
+}
+
+impl SweepResult {
+    /// Deterministic CSV of the surface: axis columns, bound columns,
+    /// `upper/lower/output` throughput triple per horizon, and sim
+    /// columns when present. Cache statistics are deliberately **not**
+    /// part of the CSV — they vary with thread count; the surface does
+    /// not.
+    pub fn to_csv(&self) -> String {
+        let mut csv = String::new();
+        for l in &self.axis_labels {
+            csv.push_str(l);
+            csv.push(',');
+        }
+        csv.push_str(
+            "regime,backlog,delay,backlog_concat,delay_concat,heuristic_backlog,heuristic_delay",
+        );
+        for h in &self.horizons {
+            let h = h.to_f64();
+            csv.push_str(&format!(",thr_upper@{h},thr_lower@{h},thr_output@{h}"));
+        }
+        let any_sim = self.points.iter().any(|p| p.sim.is_some());
+        if any_sim {
+            csv.push_str(",sim_throughput,sim_steady,sim_peak_backlog,sim_delay_max,sim_util");
+        }
+        csv.push('\n');
+        for p in &self.points {
+            for c in &p.coords {
+                csv.push_str(&format!("{},", c.to_f64()));
+            }
+            csv.push_str(&format!(
+                "{:?},{},{},{},{},{},{}",
+                p.regime,
+                fmt_value(p.backlog),
+                fmt_value(p.delay),
+                fmt_value(p.backlog_concat),
+                fmt_value(p.delay_concat),
+                p.heuristic_backlog.to_f64(),
+                fmt_value(p.heuristic_delay),
+            ));
+            for t in &p.throughput {
+                csv.push_str(&format!(
+                    ",{},{},{}",
+                    fmt_value(t.upper),
+                    fmt_value(t.lower),
+                    fmt_value(t.output_loose)
+                ));
+            }
+            if any_sim {
+                match &p.sim {
+                    Some(s) => csv.push_str(&format!(
+                        ",{},{},{},{},{}",
+                        s.throughput,
+                        s.steady_throughput,
+                        s.peak_backlog,
+                        s.delay_max,
+                        s.max_utilization()
+                    )),
+                    None => csv.push_str(",,,,,"),
+                }
+            }
+            csv.push('\n');
+        }
+        csv
+    }
+}
+
+fn fmt_value(v: Value) -> String {
+    match v {
+        Value::Finite(r) => format!("{}", r.to_f64()),
+        Value::Infinity => "inf".into(),
+        Value::NegInfinity => "-inf".into(),
+    }
+}
+
+fn summarize(
+    point: &GridPoint,
+    model: &PipelineModel,
+    throughput: Vec<ThroughputBounds>,
+    sim: Option<SimSummary>,
+    ops: &mut dyn CurveOps,
+) -> PointResult {
+    PointResult {
+        index: point.index,
+        coords: point.coords.clone(),
+        regime: model.regime(),
+        backlog: model.backlog_bound_with(ops),
+        delay: model.delay_bound_with(ops),
+        backlog_concat: model.backlog_bound_concat_with(ops),
+        delay_concat: model.delay_bound_concat_with(ops),
+        heuristic_backlog: model.heuristic_backlog(),
+        heuristic_delay: model.heuristic_delay(),
+        total_latency: model.total_latency,
+        bottleneck_rate_min: model.bottleneck_rate_min,
+        throughput,
+        sim,
+    }
+}
+
+fn eval_cached(
+    spec: &SweepSpec,
+    point: &GridPoint,
+    cache: &mut ModelCache,
+    arena: &mut SimArena,
+) -> PointResult {
+    let p = pipeline_at(spec, point);
+    let model = p.build_model_cached(cache);
+    let throughput = model.throughput_profile_with(cache.curves(), &spec.horizons);
+    let sim = spec
+        .sim
+        .as_ref()
+        .map(|cfg| SimSummary::of(&simulate_in(arena, &p, cfg)));
+    summarize(point, &model, throughput, sim, cache.curves())
+}
+
+fn eval_uncached(spec: &SweepSpec, point: &GridPoint) -> PointResult {
+    let p = pipeline_at(spec, point);
+    let model = p.build_model();
+    let throughput = spec
+        .horizons
+        .iter()
+        .map(|h| model.throughput_over(*h))
+        .collect();
+    let sim = spec
+        .sim
+        .as_ref()
+        .map(|cfg| SimSummary::of(&simulate(&p, cfg)));
+    summarize(point, &model, throughput, sim, &mut DirectOps)
+}
+
+/// Per-worker state for the parallel sweep. Cache counters are merged
+/// into the shared sink on drop (rayon gives no other hook to recover
+/// `map_init` state).
+struct Worker {
+    cache: ModelCache,
+    arena: SimArena,
+    sink: Arc<Mutex<CacheStats>>,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let mut s = self.sink.lock().expect("stats sink poisoned");
+        *s = s.merge(&self.cache.stats());
+    }
+}
+
+/// Evaluate the full grid in parallel with per-worker caches and sim
+/// arenas. Point results are independent of the cache state, so the
+/// output (and its CSV) is byte-identical for any thread count; only
+/// [`SweepResult::stats`] varies with scheduling.
+pub fn run(spec: &SweepSpec) -> SweepResult {
+    let points = grid(spec);
+    let sink = Arc::new(Mutex::new(CacheStats::default()));
+    let results: Vec<PointResult> = points
+        .into_par_iter()
+        .map_init(
+            || Worker {
+                cache: ModelCache::new(),
+                arena: SimArena::new(),
+                sink: Arc::clone(&sink),
+            },
+            |w, point| eval_cached(spec, &point, &mut w.cache, &mut w.arena),
+        )
+        .collect();
+    let stats = *sink.lock().expect("stats sink poisoned");
+    SweepResult {
+        axis_labels: spec.axes.iter().map(|a| a.param.label()).collect(),
+        horizons: spec.horizons.clone(),
+        points: results,
+        stats,
+    }
+}
+
+/// The ablation baseline: one grid point at a time on the calling
+/// thread, no caches, no arena reuse — exactly the repo's status-quo
+/// loop (`build_model` + `throughput_over` + `simulate` per point).
+/// Produces identical [`SweepResult::points`] to [`run`].
+pub fn run_serial_uncached(spec: &SweepSpec) -> SweepResult {
+    let points = grid(spec);
+    let results: Vec<PointResult> = points.iter().map(|pt| eval_uncached(spec, pt)).collect();
+    SweepResult {
+        axis_labels: spec.axes.iter().map(|a| a.param.label()).collect(),
+        horizons: spec.horizons.clone(),
+        points: results,
+        stats: CacheStats::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::pipeline::{Node, NodeKind, Source};
+
+    fn base() -> Pipeline {
+        Pipeline::new(
+            "t",
+            Source {
+                rate: Rat::int(80),
+                burst: Rat::int(64),
+            },
+            vec![
+                Node::new(
+                    "a",
+                    NodeKind::Compute,
+                    StageRates::new(Rat::int(90), Rat::int(100), Rat::int(110)),
+                    Rat::new(1, 1000),
+                    Rat::int(64),
+                    Rat::int(64),
+                ),
+                Node::new(
+                    "b",
+                    NodeKind::NetworkLink,
+                    StageRates::fixed(Rat::int(120)),
+                    Rat::ZERO,
+                    Rat::int(64),
+                    Rat::int(64),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn grid_is_row_major_last_axis_fastest() {
+        let spec = SweepSpec {
+            base: base(),
+            axes: vec![
+                Axis::new(Param::SourceRate, vec![Rat::int(1), Rat::int(2)]),
+                Axis::new(
+                    Param::Rate(1),
+                    vec![Rat::int(10), Rat::int(20), Rat::int(30)],
+                ),
+            ],
+            horizons: vec![],
+            sim: None,
+        };
+        let g = grid(&spec);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0].coords, vec![Rat::int(1), Rat::int(10)]);
+        assert_eq!(g[1].coords, vec![Rat::int(1), Rat::int(20)]);
+        assert_eq!(g[3].coords, vec![Rat::int(2), Rat::int(10)]);
+        assert_eq!(g[5].coords, vec![Rat::int(2), Rat::int(30)]);
+    }
+
+    #[test]
+    fn linspace_endpoints_exact() {
+        let a = Axis::linspace(Param::SourceRate, Rat::int(40), Rat::int(160), 25);
+        assert_eq!(a.values.len(), 25);
+        assert_eq!(a.values[0], Rat::int(40));
+        assert_eq!(a.values[24], Rat::int(160));
+        assert_eq!(a.values[1] - a.values[0], Rat::int(5));
+    }
+
+    #[test]
+    fn params_apply() {
+        let mut p = base();
+        Param::BlockSize(0).apply(&mut p, Rat::int(128));
+        assert_eq!(p.nodes[0].job_in, Rat::int(128));
+        assert_eq!(p.nodes[0].job_out, Rat::int(128));
+        Param::CompressionRatio(0).apply(&mut p, Rat::int(4));
+        assert_eq!(p.nodes[0].job_out, Rat::int(32));
+        Param::RateScale(1).apply(&mut p, Rat::new(1, 2));
+        assert_eq!(p.nodes[1].rates.min, Rat::int(60));
+        Param::Latency(1).apply(&mut p, Rat::ONE);
+        assert_eq!(p.nodes[1].latency, Rat::ONE);
+    }
+
+    #[test]
+    fn cached_run_equals_uncached_baseline() {
+        let spec = SweepSpec {
+            base: base(),
+            axes: vec![
+                Axis::linspace(Param::SourceRate, Rat::int(40), Rat::int(160), 7),
+                Axis::new(Param::BlockSize(0), vec![Rat::int(32), Rat::int(64)]),
+            ],
+            horizons: vec![Rat::int(1), Rat::int(100)],
+            sim: Some(SimConfig {
+                seed: 7,
+                total_input: 64 << 10,
+                source_chunk: Some(64),
+                trace: false,
+                ..SimConfig::default()
+            }),
+        };
+        let fast = run(&spec);
+        let slow = run_serial_uncached(&spec);
+        assert_eq!(fast.to_csv(), slow.to_csv());
+        // The cache did real work: every point after the first reuses
+        // prefixes and operator results.
+        assert!(fast.stats.prefix_hits + fast.stats.op_hits() > 0);
+        assert_eq!(slow.stats, CacheStats::default());
+    }
+
+    #[test]
+    fn output_independent_of_thread_count() {
+        let spec = SweepSpec {
+            base: base(),
+            axes: vec![Axis::linspace(
+                Param::SourceRate,
+                Rat::int(40),
+                Rat::int(160),
+                9,
+            )],
+            horizons: vec![Rat::int(10)],
+            sim: None,
+        };
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool")
+            .install(|| run(&spec));
+        let four = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool")
+            .install(|| run(&spec));
+        assert_eq!(one.to_csv(), four.to_csv());
+    }
+}

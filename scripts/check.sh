@@ -7,8 +7,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy (deny warnings: nc-core, nc-des)"
-cargo clippy -p nc-core -p nc-des --all-targets -- -D warnings
+echo "==> cargo clippy (deny warnings: whole workspace)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
@@ -16,5 +16,8 @@ cargo test -q
 
 echo "==> criterion smoke: curve_ops in test mode"
 cargo bench -p nc-bench --bench curve_ops -- --test
+
+echo "==> sweep smoke: 4x4 grid through the batch engine"
+SWEEP_GRID=4x4 cargo run --release -q -p nc-bench --bin sweep
 
 echo "==> all checks passed"

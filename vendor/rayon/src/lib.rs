@@ -7,6 +7,102 @@
 //! (one chunk per available core) and preserving input order in the
 //! collected output.
 
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`] on
+    /// the calling thread (the chunking decision is made there).
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker-thread count for the next parallel pipeline: an installed
+/// [`ThreadPool`]'s size, else `RAYON_NUM_THREADS` (upstream rayon's
+/// env knob), else the machine's available parallelism.
+fn configured_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Error building a [`ThreadPool`] (never produced by this subset;
+/// kept for upstream signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring upstream `rayon::ThreadPoolBuilder` for the
+/// `num_threads` + `build` + `install` pattern.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default (machine-sized) parallelism.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Fix the worker-thread count.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(configured_threads).max(1),
+        })
+    }
+}
+
+/// A scoped thread-count configuration. This subset spawns fresh scoped
+/// threads per pipeline, so the "pool" only pins how many workers each
+/// pipeline started under [`ThreadPool::install`] uses.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `f` with this pool's thread count governing any parallel
+    /// pipelines it starts on this thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let out = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// The number of worker threads the next parallel pipeline on this
+/// thread will use (upstream `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    configured_threads()
+}
+
 /// Types convertible into a parallel iterator.
 pub trait IntoParallelIterator {
     /// Element type.
@@ -87,10 +183,7 @@ where
     /// Run the map on worker threads (one `init` state per chunk) and
     /// collect results in input order.
     pub fn collect<C: FromIterator<O>>(self) -> C {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(self.items.len().max(1));
+        let threads = configured_threads().min(self.items.len().max(1));
         let init = &self.init;
         let f = &self.f;
 
@@ -134,10 +227,7 @@ pub struct ParMap<T, F> {
 impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
     /// Run the map on worker threads and collect results in input order.
     pub fn collect<C: FromIterator<O>>(self) -> C {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(self.items.len().max(1));
+        let threads = configured_threads().min(self.items.len().max(1));
         let f = &self.f;
 
         let n = self.items.len();
