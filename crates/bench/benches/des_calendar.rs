@@ -1,0 +1,71 @@
+//! Microbenchmarks of the scaling layer's calendar structures
+//! (DESIGN.md §10): the fixed-slot agenda that replaced the binary-heap
+//! calendar on the streamsim hot path, head-to-head with the heap on
+//! the same self-rescheduling event mix, plus the full streamsim inner
+//! step on the BITW figure workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nc_des::{Sim, SlotAgenda, Span, Time};
+
+const N: u64 = 50_000;
+
+/// Arm/pop churn on a 4-slot agenda: each pop re-arms the next slot —
+/// the steady-state pattern of a 3-node pipeline plus its source.
+fn bench_slot_agenda(c: &mut Criterion) {
+    c.bench_function("calendar/slot_agenda_arm_pop_50k", |b| {
+        b.iter(|| {
+            let mut a: SlotAgenda<Time> = SlotAgenda::new(4);
+            a.arm(0, Time::ZERO);
+            let mut popped = 0u64;
+            while let Some((slot, at)) = a.pop() {
+                popped += 1;
+                if popped >= N {
+                    break;
+                }
+                a.arm((slot + 1) % 4, at + Span::secs(1e-6));
+            }
+            black_box(popped)
+        })
+    });
+}
+
+/// The same churn through the binary-heap calendar, for the ablation.
+fn bench_heap_calendar(c: &mut Criterion) {
+    c.bench_function("calendar/heap_schedule_pop_50k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0u64);
+            fn tick(sim: &mut Sim<u64>) {
+                sim.state += 1;
+                if sim.state < N {
+                    sim.schedule_in(Span::secs(1e-6), tick);
+                }
+            }
+            sim.schedule_at(Time::ZERO, tick);
+            sim.run();
+            black_box(sim.state)
+        })
+    });
+}
+
+/// The streamsim event loop end to end on the BITW figure workload —
+/// the inner step this PR thinned (fused wakes, slot agenda, streaming
+/// statistics, pruned input ring).
+fn bench_streamsim_step(c: &mut Criterion) {
+    let p = nc_apps::bitw::sim_pipeline();
+    let mut cfg = nc_apps::bitw::sim_config(3);
+    cfg.trace = false;
+    let events = nc_streamsim::simulate(&p, &cfg).events;
+    let mut arena = nc_streamsim::SimArena::new();
+    c.bench_function(&format!("streamsim/bitw_inner_step_{events}_events"), |b| {
+        b.iter(|| black_box(nc_streamsim::simulate_in(&mut arena, &p, &cfg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_slot_agenda, bench_heap_calendar, bench_streamsim_step
+}
+criterion_main!(benches);

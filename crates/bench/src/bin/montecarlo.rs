@@ -27,15 +27,33 @@ struct Summary {
 
 fn summarize(what: &str, xs: &[f64]) -> Summary {
     let n = xs.len();
+    // Degenerate sizes: an empty sample has no mean (report zeros, not
+    // NaN/±inf from 0/0 and empty folds); a single observation has no
+    // spread, so its sample standard deviation is 0 by definition.
+    if n == 0 {
+        return Summary {
+            what: what.into(),
+            n,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            stddev: 0.0,
+        };
+    }
     let mean = xs.iter().sum::<f64>() / n as f64;
-    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0).max(1.0);
+    let stddev = if n < 2 {
+        0.0
+    } else {
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    };
     Summary {
         what: what.into(),
         n,
         mean,
         min: xs.iter().copied().fold(f64::INFINITY, f64::min),
         max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-        stddev: var.sqrt(),
+        stddev,
     }
 }
 
@@ -134,6 +152,89 @@ fn main() {
          the measured-variability gap behind the queueing prediction's optimism.\n",
     );
 
+    // --- Scale rows (PR 3): the regimes the ROADMAP north-star cares
+    // about. 1 GiB stochastic runs are affordable with tracing off
+    // (constant-memory input window); the 16 GiB deterministic run
+    // rides the cycle-jump fast-forward, so its wall time is set by the
+    // warmup + drain, not the 100M+ virtual events it accounts for.
+    out.push_str("\nscale replication (trace off):\n");
+    let bitw_1g: Vec<SimResult> = (0..4u64)
+        .into_par_iter()
+        .map_init(SimArena::new, |arena, seed| {
+            let mut cfg = bitw::sim_config(seed);
+            cfg.trace = false;
+            cfg.total_input = 1 << 30;
+            simulate_in(arena, &bitw::sim_pipeline(), &cfg)
+        })
+        .collect();
+    let thr: Vec<f64> = bitw_1g.iter().map(|r| r.throughput / MIB).collect();
+    let s = summarize("BITW 1 GiB sim throughput", &thr);
+    out.push_str(&fmt(&s, "MiB/s", 1.0));
+    out.push('\n');
+    all.push(s);
+
+    let mut cfg_det = bitw::sim_config(0);
+    cfg_det.trace = false;
+    cfg_det.total_input = 16u64 << 30;
+    cfg_det.service_model = ServiceModel::Deterministic;
+    cfg_det.queue_capacity = Some(64 << 10);
+    let t = std::time::Instant::now();
+    let det = simulate_in(&mut SimArena::new(), &bitw::sim_pipeline(), &cfg_det);
+    let wall = t.elapsed().as_secs_f64();
+    let s = summarize(
+        "BITW 16 GiB deterministic throughput (cycle-jump)",
+        &[det.throughput / MIB],
+    );
+    out.push_str(&fmt(&s, "MiB/s", 1.0));
+    out.push('\n');
+    // Wall time goes to stdout only: the emitted artifact must stay
+    // byte-deterministic run-to-run (it is md5-compared in review).
+    out.push_str(&format!(
+        "  ({} virtual events fast-forwarded)\n",
+        det.events
+    ));
+    println!(
+        "16 GiB deterministic run: {} virtual events in {:.1} ms wall",
+        det.events,
+        wall * 1e3
+    );
+    all.push(s);
+
     nc_bench::emit("montecarlo.txt", &out);
     nc_bench::emit_json("montecarlo.json", &all);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::summarize;
+
+    #[test]
+    fn summarize_empty_is_all_zeros_not_nan() {
+        let s = summarize("none", &[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn summarize_single_observation_has_zero_stddev() {
+        let s = summarize("one", &[42.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 42.5);
+        assert_eq!(s.min, 42.5);
+        assert_eq!(s.max, 42.5);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn summarize_pair_matches_sample_stddev() {
+        let s = summarize("two", &[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        // Sample (n-1) stddev of {1, 3} is sqrt(2).
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
 }

@@ -5,7 +5,13 @@
 //!
 //! The sweep itself runs on the `nc-sweep` engine (grid expansion +
 //! parallel evaluation with per-worker caches); this bin only formats
-//! the surface into the stable `overload_sweep.csv` schema.
+//! the surfaces into the stable CSV schemas. Two surfaces are emitted:
+//! the stochastic sweep now pushes 1 GiB per point (affordable since
+//! the engine keeps only the in-flight input window with tracing off),
+//! and `overload_det.csv` re-runs the axis with 16 GiB per point under
+//! the deterministic service model with bounded queues, where the
+//! cycle-jump fast-forward advances the backpressured steady state in
+//! closed form (DESIGN.md §10).
 
 use nc_core::num::Rat;
 use nc_core::pipeline::{Node, NodeKind, Pipeline, Source, StageRates};
@@ -44,12 +50,13 @@ fn main() {
         horizons: vec![],
         sim: Some(SimConfig {
             seed: 5,
-            total_input: 64 << 20,
+            total_input: 1 << 30,
             source_chunk: Some(64 << 10),
             queue_capacity: None,
             queue_capacities: None,
             service_model: nc_streamsim::ServiceModel::Uniform,
             trace: false,
+            fast_forward: true,
         }),
     };
     let surface = nc_sweep::run(&spec);
@@ -74,4 +81,47 @@ fn main() {
         ));
     }
     nc_bench::emit("overload_sweep.csv", &csv);
+
+    // Deterministic 16 GiB variant: bounded queues turn the overloaded
+    // points into a backpressured periodic steady state, which the
+    // cycle-jump fast-forward advances in closed form — so each point
+    // costs warmup + drain regardless of the 16 GiB volume.
+    let det_spec = SweepSpec {
+        base: base_pipeline(),
+        axes: vec![Axis::linspace(
+            Param::SourceRate,
+            mib_per_s(40.0),
+            mib_per_s(160.0),
+            25,
+        )],
+        horizons: vec![],
+        sim: Some(SimConfig {
+            seed: 5,
+            total_input: 16 << 30,
+            source_chunk: Some(64 << 10),
+            queue_capacity: Some(4 << 20),
+            queue_capacities: None,
+            service_model: nc_streamsim::ServiceModel::Deterministic,
+            trace: false,
+            fast_forward: true,
+        }),
+    };
+    let det_surface = nc_sweep::run(&det_spec);
+    let mut det_csv = String::from(
+        "offered_mib_s,regime,sim_throughput_mib_s,sim_peak_backlog_mib,sim_delay_max_ms,bottleneck_utilization,events\n",
+    );
+    for p in &det_surface.points {
+        let sim = p.sim.as_ref().expect("sweep ran with sim enabled");
+        det_csv.push_str(&format!(
+            "{},{:?},{:.2},{:.4},{:.3},{:.3},{}\n",
+            p.coords[0].to_f64() / MIB,
+            p.regime,
+            sim.throughput / MIB,
+            sim.peak_backlog / MIB,
+            sim.delay_max * 1e3,
+            sim.utilization[0],
+            sim.events,
+        ));
+    }
+    nc_bench::emit("overload_det.csv", &det_csv);
 }

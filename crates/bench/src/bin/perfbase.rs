@@ -3,13 +3,19 @@
 //! Times the paper-reproduction binaries end to end (`table1`,
 //! `table3`, `fig4`, `fig10`, `montecarlo`, `overload`, `sweep`), the
 //! min-plus kernel fast paths against their reference implementations,
+//! the simulation scaling layer (thinned event path vs the frozen
+//! reference engine; deterministic cycle-jump on vs off), the scale
+//! simulation rows (64 MiB / 1 GiB stochastic, 16 GiB deterministic),
 //! and the batch sweep engine (cached + parallel vs serial uncached,
 //! with result-equality asserted and cache-hit counts recorded), then
-//! writes the whole snapshot to `BENCH_2.json` at the workspace root —
-//! next to PR 1's `BENCH_1.json` — so perf regressions show up in
-//! review diffs.
+//! writes the whole snapshot to `BENCH_3.json` at the workspace root —
+//! next to the earlier PRs' `BENCH_1.json`/`BENCH_2.json` — so perf
+//! regressions show up in review diffs.
 //!
-//! Run with `cargo run --release -p nc-bench --bin perfbase`.
+//! Run with `cargo run --release -p nc-bench --bin perfbase`. Set
+//! `PERFBASE_OUT=/path/to.json` to redirect the snapshot (used by
+//! `scripts/perfgate.sh` so gate runs never clobber the committed
+//! baseline).
 
 use std::process::{Command, Stdio};
 use std::time::Instant;
@@ -20,7 +26,7 @@ use nc_core::num::{rat, Rat};
 use nc_core::ops::{
     min_plus_conv, min_plus_conv_general, min_plus_deconv, min_plus_deconv_general,
 };
-use nc_streamsim::{simulate, simulate_in, SimArena};
+use nc_streamsim::{simulate, simulate_in, simulate_reference, ServiceModel, SimArena};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -77,16 +83,25 @@ fn rl(r: i64, t: i64) -> Curve {
     shapes::rate_latency(Rat::int(r), Rat::int(t))
 }
 
-/// Mean seconds per iteration of `f` (after a 10% warmup).
+/// Noise-robust seconds per iteration of `f` (after a 10% warmup): the
+/// per-iteration mean of the fastest of five equal batches. Taking the
+/// minimum matches `run_bin`'s best-of-2 policy — scheduler noise on a
+/// shared single-vCPU box is strictly one-sided, so the fastest batch
+/// is the least-contaminated estimate.
 fn per_iter(iters: u32, mut f: impl FnMut()) -> f64 {
     for _ in 0..iters / 10 {
         f();
     }
-    let t = Instant::now();
-    for _ in 0..iters {
-        f();
+    let batch = (iters / 5).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / batch as f64);
     }
-    t.elapsed().as_secs_f64() / iters as f64
+    best
 }
 
 fn ablation(
@@ -280,23 +295,92 @@ fn main() {
         },
     ));
 
-    // End-to-end 64 MiB simulation runs: the tracked wall-time
-    // trajectory for the DES + streamsim hot path.
-    println!("perf baseline: 64 MiB simulation runs");
+    // Simulation scaling layer (DESIGN.md §10): the thinned stochastic
+    // event path against the frozen pre-PR reference engine (results
+    // are bit-identical — asserted by the engine-equivalence property
+    // tests), and the deterministic cycle-jump fast-forward against
+    // exact stepping on a bounded-queue 1 GiB run.
+    let mut cfg_thin = bitw::sim_config(1);
+    cfg_thin.trace = false;
+    cfg_thin.total_input = 64 << 20;
+    ablations.push(ablation(
+        "streamsim thinned vs reference (64 MiB)",
+        20,
+        || {
+            std::hint::black_box(simulate(&pw, &cfg_thin));
+        },
+        || {
+            std::hint::black_box(simulate_reference(&pw, &cfg_thin));
+        },
+    ));
+    let mut cfg_ff = cfg_thin.clone();
+    cfg_ff.service_model = ServiceModel::Deterministic;
+    cfg_ff.queue_capacity = Some(64 << 10);
+    cfg_ff.total_input = 1 << 30;
+    let mut cfg_noff = cfg_ff.clone();
+    cfg_noff.fast_forward = false;
+    ablations.push(ablation(
+        "det cycle-jump on vs off (1 GiB)",
+        5,
+        || {
+            std::hint::black_box(simulate(&pw, &cfg_ff));
+        },
+        || {
+            std::hint::black_box(simulate(&pw, &cfg_noff));
+        },
+    ));
+
+    // End-to-end simulation runs: the tracked wall-time trajectory for
+    // the DES + streamsim hot path. The BITW 64 MiB and 1 GiB rows run
+    // with `trace: false` — the scale setting, where live memory is the
+    // in-flight input window, not the run length. The traced 64 MiB row
+    // keeps the figure configuration for continuity with BENCH_2. The
+    // 16 GiB row is deterministic with bounded queues, so the periodic
+    // steady state is advanced in closed form by the cycle-jump
+    // fast-forward (its `events` count the virtual events skipped).
+    println!("perf baseline: scale simulation runs");
     let mut sims = Vec::new();
     cfgw.total_input = 64 << 20;
-    for (what, p, cfg) in [
-        ("streamsim BITW 64 MiB", &pw, &cfgw),
+    let mut cfg_1g = cfg_thin.clone();
+    cfg_1g.total_input = 1 << 30;
+    let mut cfg_det = cfg_ff.clone();
+    cfg_det.total_input = 16u64 << 30;
+    let rows = [
+        ("streamsim BITW 64 MiB", &pw, &cfg_thin),
+        ("streamsim BITW 64 MiB (traced)", &pw, &cfgw),
+        ("streamsim BITW 1 GiB", &pw, &cfg_1g),
+        ("streamsim BITW 16 GiB det (cycle-jump)", &pw, &cfg_det),
         ("streamsim BLAST 64 MiB", &p, &cfg),
-    ] {
-        let events = simulate(p, cfg).events;
-        let iters = if events > 100_000 { 20 } else { 400 };
-        let per_run_s = per_iter(iters, || {
-            std::hint::black_box(simulate(p, cfg));
-        });
-        println!("  {what:<36} {per_run_s:>12.3e}s  ({events} events)");
+    ];
+    // Pick iterations from one measured run so the 16 GiB row (~13 ms
+    // via fast-forward despite 117M virtual events) is not starved,
+    // then sample each row in three round-robin passes and keep the
+    // minimum — scheduler-noise windows on this box last seconds, so
+    // back-to-back batches alone can sit entirely inside one.
+    let stats: Vec<(u64, u32)> = rows
+        .iter()
+        .map(|(_, pipe, scfg)| {
+            let t = Instant::now();
+            let events = simulate(pipe, scfg).events;
+            let once = t.elapsed().as_secs_f64();
+            (events, ((0.4 / once.max(1e-6)) as u32).clamp(3, 400))
+        })
+        .collect();
+    let mut best = vec![f64::INFINITY; rows.len()];
+    for _ in 0..3 {
+        for (idx, (_, pipe, scfg)) in rows.iter().enumerate() {
+            let per = per_iter(stats[idx].1, || {
+                std::hint::black_box(simulate(pipe, scfg));
+            });
+            best[idx] = best[idx].min(per);
+        }
+    }
+    for (idx, (what, _, _)) in rows.iter().enumerate() {
+        let (events, _) = stats[idx];
+        let per_run_s = best[idx];
+        println!("  {what:<40} {per_run_s:>12.3e}s  ({events} events)");
         sims.push(SimTime {
-            what: what.into(),
+            what: (*what).into(),
             events,
             per_run_s,
         });
@@ -349,7 +433,7 @@ fn main() {
     let sweeps = vec![sweep];
 
     let baseline = Baseline {
-        schema: "nc-perfbase-v2",
+        schema: "nc-perfbase-v3",
         command: "cargo run --release -p nc-bench --bin perfbase",
         bins,
         sims,
@@ -360,7 +444,10 @@ fn main() {
         .parent()
         .expect("workspace root")
         .to_path_buf();
-    let path = root.join("BENCH_2.json");
+    let path = match std::env::var_os("PERFBASE_OUT") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => root.join("BENCH_3.json"),
+    };
     let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("[written {}]", path.display());

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod agenda;
 pub mod engine;
 pub mod queue;
 pub mod random;
@@ -38,9 +39,10 @@ pub mod resource;
 pub mod stats;
 pub mod time;
 
+pub use agenda::SlotAgenda;
 pub use engine::{Event, Sim, SimPool};
 pub use queue::ByteQueue;
 pub use random::Dist;
 pub use resource::Resource;
-pub use stats::{Counter, Tally, TimeWeighted};
+pub use stats::{Counter, StreamingTally, Tally, TimeWeighted};
 pub use time::{Span, Time};

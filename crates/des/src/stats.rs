@@ -80,6 +80,89 @@ impl Tally {
     }
 }
 
+/// Constant-memory observation tally: count, min, max, mean, variance —
+/// no samples retained.
+///
+/// Drop-in for [`Tally`] where quantiles are not needed: `record` keeps
+/// the identical running `sum`/`sum_sq` accumulation order, and the
+/// running `min`/`max` equal `Tally`'s insertion-order `f64::min`/`max`
+/// reductions bit for bit, so swapping a `Tally` for a
+/// `StreamingTally` does not perturb reported statistics. This is what
+/// lets the simulation engines record one delay per job over multi-GiB
+/// inputs in O(1) memory.
+#[derive(Clone, Debug, Serialize)]
+pub struct StreamingTally {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingTally {
+    fn default() -> Self {
+        StreamingTally::new()
+    }
+}
+
+impl StreamingTally {
+    /// Empty tally.
+    pub fn new() -> StreamingTally {
+        StreamingTally {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> Option<f64> {
+        if self.count < 2 {
+            return None;
+        }
+        let n = self.count as f64;
+        let mean = self.sum / n;
+        Some((self.sum_sq - n * mean * mean) / (n - 1.0))
+    }
+}
+
 /// A piecewise-constant level tracked over time (queue depth, backlog):
 /// records the time integral, time average, and running maximum.
 #[derive(Clone, Debug, Serialize)]
@@ -205,6 +288,32 @@ mod tests {
         assert_eq!(t.mean(), None);
         assert_eq!(t.min(), None);
         assert_eq!(t.quantile(0.5), None);
+        assert_eq!(t.variance(), None);
+    }
+
+    #[test]
+    fn streaming_tally_matches_tally_bitwise() {
+        let xs = [2.5, 4.0, 4.25, 4.0, 5.5, 5.0, 7.125, 9.0, 0.375];
+        let mut a = Tally::new();
+        let mut b = StreamingTally::new();
+        for &x in &xs {
+            a.record(x);
+            b.record(x);
+        }
+        assert_eq!(b.count(), xs.len() as u64);
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.variance(), b.variance());
+    }
+
+    #[test]
+    fn streaming_tally_empty() {
+        let t = StreamingTally::new();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+        assert_eq!(t.mean(), None);
         assert_eq!(t.variance(), None);
     }
 

@@ -25,12 +25,34 @@ pub struct SimConfig {
     /// of §4.1.
     pub queue_capacities: Option<Vec<u64>>,
     /// Record cumulative input/output traces (for Figures 4 and 10).
+    ///
+    /// **Memory cap.** With `trace: false` (the scale setting) the
+    /// engines keep only the in-flight window of the input stairstep —
+    /// peak simulation memory is O(data in flight in the pipeline),
+    /// independent of `total_input`. With `trace: true` the full
+    /// `(t, bytes)` stairsteps are retained and returned (one entry per
+    /// source emission and per sink delivery — O(events) memory), and
+    /// deterministic cycle-jump fast-forward is disabled, since a
+    /// skipped cycle cannot emit trace points. Keep tracing for figure
+    /// runs; turn it off for multi-GiB inputs.
     pub trace: bool,
     /// Service-time model for every stage. The paper's simulator uses
     /// uniform(min,max) execution times; `Exponential` reproduces the
     /// Markovian assumption of the M/M/1 baseline (ablation), and
     /// `Deterministic` uses the average rate.
     pub service_model: ServiceModel,
+    /// Allow the deterministic engine to fast-forward periodic steady
+    /// states in closed form (default `true`; see `DESIGN.md` §10).
+    /// Results are bit-identical either way — the flag exists for
+    /// ablation and debugging. Ignored (no-op) by the stochastic
+    /// service models, where every service draw must be realized, and
+    /// disabled by `trace: true`.
+    #[serde(default = "default_fast_forward")]
+    pub fast_forward: bool,
+}
+
+fn default_fast_forward() -> bool {
+    true
 }
 
 /// How per-job execution times are drawn from a stage's measured
@@ -56,6 +78,7 @@ impl Default for SimConfig {
             queue_capacities: None,
             trace: true,
             service_model: ServiceModel::Uniform,
+            fast_forward: true,
         }
     }
 }

@@ -39,9 +39,13 @@
 #![warn(missing_docs)]
 
 mod config;
+mod det;
 mod engine;
+mod reference;
 mod result;
+mod ring;
 
 pub use config::{ServiceModel, SimConfig};
 pub use engine::{simulate, simulate_in, SimArena};
+pub use reference::simulate_reference;
 pub use result::{NodeStats, SimResult};

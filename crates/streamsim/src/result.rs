@@ -4,7 +4,7 @@
 use serde::Serialize;
 
 /// Per-node simulation statistics.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct NodeStats {
     /// Stage name.
     pub name: String,
@@ -20,7 +20,12 @@ pub struct NodeStats {
 }
 
 /// Result of one pipeline simulation run.
-#[derive(Clone, Debug, Serialize)]
+///
+/// Derives `PartialEq` so the engine-equivalence property tests can
+/// assert whole results bit-identical (f64 fields compare by value; the
+/// engines are required to produce them through identical operation
+/// sequences).
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct SimResult {
     /// Total input-referred bytes that left the pipeline.
     pub bytes_out: f64,

@@ -109,6 +109,7 @@ proptest! {
             queue_capacities: None,
             service_model: nc_streamsim::ServiceModel::Uniform,
             trace: true,
+            fast_forward: true,
         };
         let r = simulate(&p, &cfg);
 

@@ -52,6 +52,7 @@ fn main() {
                 queue_capacities: None,
                 service_model: streamcalc::streamsim::ServiceModel::Uniform,
                 trace: false,
+                fast_forward: true,
             },
         );
         println!(

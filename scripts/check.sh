@@ -14,10 +14,14 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "==> criterion smoke: curve_ops in test mode"
+echo "==> criterion smoke: curve_ops + des_calendar in test mode"
 cargo bench -p nc-bench --bench curve_ops -- --test
+cargo bench -p nc-bench --bench des_calendar -- --test
 
 echo "==> sweep smoke: 4x4 grid through the batch engine"
 SWEEP_GRID=4x4 cargo run --release -q -p nc-bench --bin sweep
+
+echo "==> perf gate (warn-only)"
+scripts/perfgate.sh
 
 echo "==> all checks passed"

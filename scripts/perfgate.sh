@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Perf regression gate (warn-only): re-run the perfbase snapshot into a
+# temp file and flag any repro binary or simulation row that is >25%
+# slower than the newest committed BENCH_*.json baseline. Never fails
+# the build — wall-clock noise on shared machines makes a hard gate
+# flakier than it is useful; the warning is the review signal.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+base=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1)
+if [[ -z "${base}" ]]; then
+    echo "perfgate: no BENCH_*.json baseline found — skipping"
+    exit 0
+fi
+
+out=$(mktemp -t perfgate.XXXXXX.json)
+# perfbase re-runs the repro bins, which rewrite results/ — all
+# byte-deterministic except the sweep CSV: perfbase times the default
+# 16x16 grid, while the committed artifact is the 4x4 smoke output.
+# Snapshot and restore it so a check.sh run leaves the tree clean.
+sweep_csv=results/sweep_bitw.csv
+sweep_saved=$(mktemp -t perfgate.sweep.XXXXXX.csv)
+if ! cp "$sweep_csv" "$sweep_saved" 2>/dev/null; then
+    rm -f "$sweep_saved"
+    sweep_saved=""
+fi
+restore() {
+    if [[ -n "$sweep_saved" && -f "$sweep_saved" ]]; then
+        mv "$sweep_saved" "$sweep_csv"
+    fi
+    rm -f "$out"
+}
+trap restore EXIT
+echo "perfgate: re-running perfbase (baseline: ${base})"
+if ! PERFBASE_OUT="$out" cargo run --release -q -p nc-bench --bin perfbase >/dev/null; then
+    echo "perfgate: perfbase run failed — skipping comparison (warn-only)"
+    exit 0
+fi
+
+python3 - "$base" "$out" <<'PY'
+import json, sys
+
+base_path, cur_path = sys.argv[1], sys.argv[2]
+with open(base_path) as f:
+    base = json.load(f)
+with open(cur_path) as f:
+    cur = json.load(f)
+
+def rows(snapshot):
+    r = {}
+    for b in snapshot.get("bins", []):
+        r[("bin", b["bin"])] = b["wall_s"]
+    for s in snapshot.get("sims", []):
+        r[("sim", s["what"])] = s["per_run_s"]
+    return r
+
+old, new = rows(base), rows(cur)
+shared = sorted(old.keys() & new.keys())
+slow = [(k, old[k], new[k]) for k in shared if new[k] > old[k] * 1.25]
+
+if slow:
+    print(f"perfgate: WARNING — {len(slow)} row(s) >25% slower than {base_path}:")
+    for (kind, name), was, now in slow:
+        print(f"  {kind:<4} {name:<44} {was:.3e}s -> {now:.3e}s ({now / was:.2f}x)")
+else:
+    print(f"perfgate: ok — {len(shared)} rows compared against {base_path}, none >25% slower")
+PY
+exit 0

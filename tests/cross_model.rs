@@ -58,6 +58,7 @@ fn all_three_models_agree_on_the_bottleneck() {
             queue_capacities: None,
             service_model: nc_streamsim::ServiceModel::Uniform,
             trace: false,
+            fast_forward: true,
         },
     );
     assert!(
@@ -132,6 +133,7 @@ fn des_validates_nc_delay_on_deterministic_stage() {
             queue_capacities: None,
             service_model: nc_streamsim::ServiceModel::Uniform,
             trace: false,
+            fast_forward: true,
         },
     );
     let bound = m.delay_bound_concat().to_f64();

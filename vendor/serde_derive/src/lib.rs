@@ -15,6 +15,10 @@ struct Field {
     ty: String,
     skip: bool,
     is_option: bool,
+    /// `#[serde(default)]` → `Some(None)`; `#[serde(default = "path")]`
+    /// → `Some(Some(path))`. Missing fields deserialize to the default
+    /// instead of erroring.
+    default: Option<Option<String>>,
 }
 
 enum VariantKind {
@@ -39,38 +43,62 @@ enum Item {
     },
 }
 
-/// True if the attribute tokens (the bracketed group's contents) are
-/// `serde(skip)`.
-fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+/// Field-level `#[serde(...)]` options this derive understands.
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: Option<Option<String>>,
+}
+
+/// Parse one attribute group's contents (`serde(...)`) into `attrs`.
+fn parse_serde_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs) {
     let mut it = group.stream().into_iter();
     match it.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return,
     }
-    match it.next() {
-        Some(TokenTree::Group(inner)) => inner
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
-        _ => false,
+    let Some(TokenTree::Group(inner)) = it.next() else {
+        return;
+    };
+    let toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0;
+    while j < toks.len() {
+        match &toks[j] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => attrs.skip = true,
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                // Bare `default`, or `default = "path::to::fn"`.
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (toks.get(j + 1), toks.get(j + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let path = lit.to_string();
+                        attrs.default = Some(Some(path.trim_matches('"').to_string()));
+                        j += 2;
+                        continue;
+                    }
+                }
+                attrs.default = Some(None);
+            }
+            _ => {}
+        }
+        j += 1;
     }
 }
 
-/// Skip attributes starting at `i`, returning (next index, saw serde(skip)).
-fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
-    let mut skip = false;
+/// Skip attributes starting at `i`, returning (next index, parsed
+/// serde field options).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, FieldAttrs) {
+    let mut attrs = FieldAttrs::default();
     while let Some(TokenTree::Punct(p)) = tokens.get(i) {
         if p.as_char() != '#' {
             break;
         }
         if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-            if attr_is_serde_skip(g) {
-                skip = true;
-            }
+            parse_serde_attr(g, &mut attrs);
         }
         i += 2;
     }
-    (i, skip)
+    (i, attrs)
 }
 
 /// Skip a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
@@ -91,7 +119,7 @@ fn parse_fields(body: &proc_macro::Group) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (next, skip) = skip_attrs(&tokens, i);
+        let (next, attrs) = skip_attrs(&tokens, i);
         i = skip_vis(&tokens, next);
         let name = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
@@ -120,8 +148,9 @@ fn parse_fields(body: &proc_macro::Group) -> Vec<Field> {
         fields.push(Field {
             name,
             ty: ty.join(" "),
-            skip,
+            skip: attrs.skip,
             is_option,
+            default: attrs.default,
         });
     }
     fields
@@ -307,12 +336,13 @@ fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
         arms.push_str(&format!(
             "\"{fname}\" => {{ __f_{fname} = ::core::option::Option::Some(::serde::de::MapAccess::next_value(&mut __map)?); }}\n"
         ));
-        let missing = if f.is_option {
-            "::core::option::Option::None".to_string()
-        } else {
-            format!(
+        let missing = match (&f.default, f.is_option) {
+            (Some(Some(path)), _) => format!("{path}()"),
+            (Some(None), _) => "::core::default::Default::default()".to_string(),
+            (None, true) => "::core::option::Option::None".to_string(),
+            (None, false) => format!(
                 "return ::core::result::Result::Err(::serde::de::Error::missing_field(\"{fname}\"))"
-            )
+            ),
         };
         build.push_str(&format!(
             "{fname}: match __f_{fname} {{ ::core::option::Option::Some(__v) => __v, ::core::option::Option::None => {missing} }},\n"
