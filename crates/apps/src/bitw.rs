@@ -191,6 +191,89 @@ pub fn sim_config(seed: u64) -> SimConfig {
         trace: true,
         service_model: nc_streamsim::ServiceModel::Uniform,
         fast_forward: true,
+        faults: None,
+    }
+}
+
+/// Backoff parameters of the retry scenario: first retry after 20 µs,
+/// doubling to a 160 µs cap.
+pub const RETRY_BASE: f64 = 20.0e-6;
+/// Capped exponential backoff ceiling of the retry scenario.
+pub const RETRY_CAP: f64 = 160.0e-6;
+
+/// Degraded-mode scenario (DESIGN.md §11, EXPERIMENTS.md §E-faults):
+/// the light-load pipeline with three fault hypotheses attached — a
+/// periodic 50 µs-per-ms stall on the compressor (firmware
+/// housekeeping), a 15 % rate derate on the encrypt bottleneck
+/// (thermal capping), and a single 200 µs transient outage on the
+/// network link. Model and simulator share this pipeline, so the
+/// degraded NC bounds must contain every faulted simulation run.
+pub fn faulted_pipeline() -> Pipeline {
+    use nc_core::units::millis;
+    use nc_core::FaultModel;
+    let mut p = light_pipeline();
+    p.nodes[0].fault = Some(FaultModel::PeriodicStall {
+        budget: micros(50.0),
+        period: millis(1.0),
+    });
+    p.nodes[1].fault = Some(FaultModel::RateDerate {
+        delta: Rat::new(3, 20),
+    });
+    p.nodes[2].fault = Some(FaultModel::TransientOutage {
+        duration: micros(200.0),
+    });
+    p
+}
+
+/// Run horizon of the faulted simulation (seconds): how long the light
+/// drive needs to push `sim_config`'s 2 MiB through. Outage placements
+/// drawn within it are guaranteed to be exercised by the run.
+fn faulted_horizon() -> f64 {
+    (2 << 20) as f64 / light_source().rate.to_f64()
+}
+
+/// The simulation realization of [`faulted_pipeline`]'s hypotheses:
+/// blocking recovery everywhere (the semantics the degraded curves
+/// cover directly), outage placement seeded within the run horizon.
+pub fn faulted_sim_config(seed: u64) -> SimConfig {
+    let schedule =
+        nc_streamsim::FaultSchedule::from_pipeline(&faulted_pipeline(), seed, faulted_horizon());
+    SimConfig {
+        faults: Some(schedule),
+        ..sim_config(seed)
+    }
+}
+
+/// Retry variant of the degraded scenario: the network stage *retries*
+/// transmissions that complete inside the outage window, with capped
+/// exponential backoff. Retrying re-executes work, which a degraded
+/// service curve cannot express directly; the sound analysis-side
+/// model is a longer outage — the window itself, plus the backoff cap,
+/// plus one worst-case re-execution (DESIGN.md §11).
+pub fn faulted_retry_pipeline() -> Pipeline {
+    use nc_core::FaultModel;
+    let mut p = faulted_pipeline();
+    // One worst-case network (re-)execution of a 1 KiB chunk.
+    let exec_max = Rat::int(1024) / mib_per_s(paper::table2::NETWORK.1);
+    p.nodes[2].fault = Some(FaultModel::TransientOutage {
+        duration: micros(200.0) + Rat::from_f64(RETRY_CAP) + exec_max,
+    });
+    p
+}
+
+/// Simulation realization of the retry scenario: the *physical* faults
+/// of [`faulted_pipeline`] (the real 200 µs outage, not the inflated
+/// analysis window) with the network stage switched to retry recovery.
+pub fn faulted_retry_sim_config(seed: u64) -> SimConfig {
+    let mut schedule =
+        nc_streamsim::FaultSchedule::from_pipeline(&faulted_pipeline(), seed, faulted_horizon());
+    schedule.stages[2].recovery = nc_streamsim::RecoveryPolicy::Retry {
+        base: RETRY_BASE,
+        cap: RETRY_CAP,
+    };
+    SimConfig {
+        faults: Some(schedule),
+        ..sim_config(seed)
     }
 }
 
@@ -512,6 +595,65 @@ mod tests {
         );
         let fig = figure10(&r, 64);
         assert!(fig.sim_between_bounds(1024.0));
+    }
+
+    #[test]
+    fn faulted_bitw_stays_underloaded_with_weaker_bounds() {
+        use nc_core::Regime;
+        let clean = light_pipeline().build_model();
+        let faulted = faulted_pipeline().build_model();
+        assert_eq!(faulted.regime(), Regime::Underloaded);
+        // Degradation strictly weakens the guaranteed bounds.
+        let d_clean = clean.delay_bound_concat().as_finite().unwrap().to_f64();
+        let d_faulted = faulted.delay_bound_concat().as_finite().unwrap().to_f64();
+        assert!(d_faulted > d_clean, "{d_faulted} vs {d_clean}");
+        let x_clean = clean.backlog_bound_concat().as_finite().unwrap().to_f64();
+        let x_faulted = faulted.backlog_bound_concat().as_finite().unwrap().to_f64();
+        assert!(x_faulted > x_clean, "{x_faulted} vs {x_clean}");
+        // The retry model is weaker still (longer outage window).
+        let retry = faulted_retry_pipeline().build_model();
+        let d_retry = retry.delay_bound_concat().as_finite().unwrap().to_f64();
+        assert!(d_retry > d_faulted, "{d_retry} vs {d_faulted}");
+    }
+
+    #[test]
+    fn faulted_bitw_sim_within_degraded_bounds() {
+        let model = faulted_pipeline().build_model();
+        let d = model.delay_bound_concat().as_finite().unwrap().to_f64();
+        let x = model.backlog_bound_concat().as_finite().unwrap().to_f64();
+        for seed in [5, 17] {
+            let r = simulate(&faulted_pipeline(), &faulted_sim_config(seed));
+            assert!(
+                r.delay_max <= d * (1.0 + 1e-6),
+                "seed {seed}: {} > {d}",
+                r.delay_max
+            );
+            assert!(r.peak_backlog <= x * (1.0 + 1e-6) + 1.0, "seed {seed}");
+            // The faults actually bit: throughput below the clean run's.
+            let clean = simulate(&light_pipeline(), &sim_config(seed));
+            assert!(r.makespan > clean.makespan, "fault schedule had no effect");
+        }
+    }
+
+    #[test]
+    fn faulted_retry_sim_within_its_degraded_bounds() {
+        let model = faulted_retry_pipeline().build_model();
+        let d = model.delay_bound_concat().as_finite().unwrap().to_f64();
+        let x = model.backlog_bound_concat().as_finite().unwrap().to_f64();
+        let mut any_retry = false;
+        for seed in [5, 17, 23] {
+            let r = simulate(&faulted_pipeline(), &faulted_retry_sim_config(seed));
+            assert!(
+                r.delay_max <= d * (1.0 + 1e-6),
+                "seed {seed}: {} > {d}",
+                r.delay_max
+            );
+            assert!(r.peak_backlog <= x * (1.0 + 1e-6) + 1.0, "seed {seed}");
+            // Retries never lose data.
+            assert_eq!(r.dropped_jobs, 0);
+            any_retry |= r.retries > 0;
+        }
+        assert!(any_retry, "no seed exercised the retry path");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Degraded-mode validation (DESIGN.md §11, EXPERIMENTS.md §E-faults):
+//! run the faulted BITW and BLAST scenarios under each recovery policy
+//! and compare every run against the *degraded* network-calculus
+//! bounds of the same fault hypotheses. Containment is asserted row by
+//! row — the binary aborts if any faulted run escapes its bounds.
+//!
+//! Artifact: `results/faults.csv`.
+
+use nc_apps::{bitw, blast};
+use nc_core::num::Rat;
+use nc_core::pipeline::{Pipeline, PipelineModel};
+use nc_streamsim::{simulate, RecoveryPolicy, SimConfig, SimResult};
+
+/// Fill/drain slack on the throughput lower bound: the degraded
+/// guarantee speaks about sustained operation, a finite run pays
+/// pipeline fill and drain once (see the cross-model grid test, which
+/// uses the same band).
+const THR_BAND: f64 = 0.98;
+
+struct Row {
+    scenario: &'static str,
+    policy: &'static str,
+    seed: u64,
+    delay_bound_s: f64,
+    sim_delay_max_s: f64,
+    backlog_bound_bytes: f64,
+    sim_peak_backlog_bytes: f64,
+    thr_lower_bytes_s: f64,
+    sim_throughput_bytes_s: f64,
+    dropped_bytes: f64,
+    retries: u64,
+    within: bool,
+}
+
+/// Evaluate one faulted run against its degraded model. Under `Drop`
+/// recovery discarded volume frees capacity, so the throughput lower
+/// bound does not apply (`check_thr = false`); delay and backlog
+/// containment always must hold.
+fn check(
+    scenario: &'static str,
+    policy: &'static str,
+    seed: u64,
+    model: &PipelineModel,
+    r: &SimResult,
+    check_thr: bool,
+) -> Row {
+    let d = model
+        .delay_bound_concat()
+        .as_finite()
+        .expect("degraded model must stay underloaded")
+        .to_f64();
+    let x = model
+        .backlog_bound_concat()
+        .as_finite()
+        .expect("finite degraded backlog bound")
+        .to_f64();
+    let tb = model.throughput_over(Rat::from_f64(r.makespan.max(1e-9)));
+    let thr_lower = tb.lower.to_f64();
+    let within = r.delay_max <= d * (1.0 + 1e-6)
+        && r.peak_backlog <= x * (1.0 + 1e-6) + 1.0
+        && (!check_thr || r.throughput >= thr_lower * THR_BAND);
+    Row {
+        scenario,
+        policy,
+        seed,
+        delay_bound_s: d,
+        sim_delay_max_s: r.delay_max,
+        backlog_bound_bytes: x,
+        sim_peak_backlog_bytes: r.peak_backlog,
+        thr_lower_bytes_s: thr_lower,
+        sim_throughput_bytes_s: r.throughput,
+        dropped_bytes: r.dropped_bytes,
+        retries: r.retries,
+        within,
+    }
+}
+
+fn run(p: &Pipeline, cfg: &SimConfig) -> SimResult {
+    simulate(p, cfg)
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- BITW, blocking recovery: the semantics the degraded curves
+    // cover directly. ---
+    let p = bitw::faulted_pipeline();
+    let m = p.build_model();
+    for seed in [5, 17, 29, 41] {
+        let r = run(&p, &bitw::faulted_sim_config(seed));
+        rows.push(check("bitw", "block", seed, &m, &r, true));
+    }
+
+    // --- BITW, retry recovery on the network stage: the analysis side
+    // models the retrying stage as a longer outage (window + backoff
+    // cap + one re-execution). ---
+    let pr = bitw::faulted_retry_pipeline();
+    let mr = pr.build_model();
+    for seed in [5, 17, 29] {
+        let r = run(&p, &bitw::faulted_retry_sim_config(seed));
+        rows.push(check("bitw", "retry", seed, &mr, &r, true));
+    }
+
+    // --- BITW, drop recovery on the network stage: delay/backlog
+    // containment only (discarded volume frees capacity, so the
+    // throughput floor does not apply to delivered bytes). ---
+    for seed in [5, 17] {
+        let mut cfg = bitw::faulted_sim_config(seed);
+        if let Some(fs) = cfg.faults.as_mut() {
+            fs.stages[2].recovery = RecoveryPolicy::Drop;
+        }
+        let r = run(&p, &cfg);
+        rows.push(check("bitw", "drop", seed, &m, &r, false));
+    }
+
+    // --- BLAST, blocking recovery on the reduced-drive deployed
+    // pipeline. ---
+    let pb = blast::faulted_pipeline();
+    let mb = pb.build_model();
+    for seed in [9, 21] {
+        let r = run(&pb, &blast::faulted_sim_config(seed));
+        rows.push(check("blast", "block", seed, &mb, &r, true));
+    }
+
+    // --- Emit and assert. ---
+    let mut csv = String::from(
+        "scenario,policy,seed,delay_bound_s,sim_delay_max_s,\
+         backlog_bound_bytes,sim_peak_backlog_bytes,\
+         thr_lower_bytes_s,sim_throughput_bytes_s,\
+         dropped_bytes,retries,within_bounds\n",
+    );
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{:.9},{:.9},{:.3},{:.3},{:.3},{:.3},{:.3},{},{}\n",
+            r.scenario,
+            r.policy,
+            r.seed,
+            r.delay_bound_s,
+            r.sim_delay_max_s,
+            r.backlog_bound_bytes,
+            r.sim_peak_backlog_bytes,
+            r.thr_lower_bytes_s,
+            r.sim_throughput_bytes_s,
+            r.dropped_bytes,
+            r.retries,
+            r.within,
+        ));
+    }
+    nc_bench::emit("faults.csv", &csv);
+
+    let escaped: Vec<String> = rows
+        .iter()
+        .filter(|r| !r.within)
+        .map(|r| format!("{}/{}/seed {}", r.scenario, r.policy, r.seed))
+        .collect();
+    assert!(
+        escaped.is_empty(),
+        "faulted runs escaped their degraded NC bounds: {}",
+        escaped.join(", ")
+    );
+    println!(
+        "all {} faulted runs inside their degraded NC bounds",
+        rows.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full faults table, at test scale: every scenario × policy ×
+    /// seed row lands inside its degraded bounds.
+    #[test]
+    fn every_faulted_row_is_within_bounds() {
+        let p = bitw::faulted_pipeline();
+        let m = p.build_model();
+        let r = run(&p, &bitw::faulted_sim_config(5));
+        assert!(check("bitw", "block", 5, &m, &r, true).within);
+
+        let mr = bitw::faulted_retry_pipeline().build_model();
+        let r = run(&p, &bitw::faulted_retry_sim_config(5));
+        assert!(check("bitw", "retry", 5, &mr, &r, true).within);
+
+        let mut cfg = bitw::faulted_sim_config(5);
+        cfg.faults.as_mut().unwrap().stages[2].recovery = RecoveryPolicy::Drop;
+        let r = run(&p, &cfg);
+        assert!(check("bitw", "drop", 5, &m, &r, false).within);
+    }
+}

@@ -57,6 +57,7 @@ fn main() {
             service_model: nc_streamsim::ServiceModel::Uniform,
             trace: false,
             fast_forward: true,
+            faults: None,
         }),
     };
     let surface = nc_sweep::run(&spec);
@@ -104,6 +105,7 @@ fn main() {
             service_model: nc_streamsim::ServiceModel::Deterministic,
             trace: false,
             fast_forward: true,
+            faults: None,
         }),
     };
     let det_surface = nc_sweep::run(&det_spec);

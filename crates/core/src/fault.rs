@@ -1,0 +1,227 @@
+//! Degraded-service transforms for fault-tolerant analysis.
+//!
+//! A [`FaultModel`] attached to a pipeline stage rewrites that stage's
+//! guaranteed rate-latency service curve β = RL(R, T) into a *degraded*
+//! curve β_deg that remains a valid lower service bound while the fault
+//! is active (DESIGN.md §11):
+//!
+//! - **Periodic stall** `(s, p)` — the stage freezes for at most `s`
+//!   seconds in every window of length `p`. Over any backlogged
+//!   interval of length `t` the cumulative freeze is at most
+//!   `s·(t/p + 1)`, so
+//!   `service ≥ R·(t − T − s·(t/p + 1)) = R'·(t − T')` with
+//!   `R' = R·(p − s)/p` and `T' = (T + s)·p/(p − s)`.
+//!   (The naive `T' = T + s` is *not* sound: it ignores the recurring
+//!   per-period loss beyond the first window.)
+//! - **Rate derating** `δ` — the stage runs uniformly slower:
+//!   `β_deg = RL(R·(1 − δ), T)`.
+//! - **Transient outage** `d` — a single unavailability of length `d`
+//!   anywhere in the run: `β_deg = RL(R, T + d)`.
+//!
+//! Degradation stays inside the rate-latency family, so the cached
+//! min-plus fast paths and the prefix memo keep working; the fault is
+//! part of the stage's cache signature (`StageSig`), so faulted and
+//! fault-free sweeps never collide.
+
+use crate::num::Rat;
+use serde::{Deserialize, Serialize};
+
+/// A per-stage fault hypothesis, expressed exactly (all fields are
+/// rationals in seconds or dimensionless fractions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// The stage freezes for up to `budget` seconds in every `period`
+    /// seconds (GPU thermal throttling, periodic firmware housekeeping).
+    PeriodicStall {
+        /// Worst-case stalled time per period, in seconds (`0 ≤ budget < period`).
+        budget: Rat,
+        /// Length of the recurring window, in seconds (`> 0`).
+        period: Rat,
+    },
+    /// The stage's service rate is uniformly derated by a fraction
+    /// `delta` (sustained thermal or power capping).
+    RateDerate {
+        /// Fractional rate loss (`0 ≤ delta < 1`).
+        delta: Rat,
+    },
+    /// A single transient unavailability of length `duration` seconds
+    /// anywhere in the run (link drop with retransmission).
+    TransientOutage {
+        /// Outage length in seconds (`≥ 0`).
+        duration: Rat,
+    },
+}
+
+impl FaultModel {
+    /// Validates the fault parameters, returning a human-readable
+    /// description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            FaultModel::PeriodicStall { budget, period } => {
+                if !period.is_positive() {
+                    return Err("stall period must be positive".into());
+                }
+                if budget.is_negative() {
+                    return Err("stall budget must be non-negative".into());
+                }
+                if budget >= period {
+                    return Err("stall budget must be < period".into());
+                }
+                Ok(())
+            }
+            FaultModel::RateDerate { delta } => {
+                if delta.is_negative() || delta >= Rat::ONE {
+                    return Err("rate derate must satisfy 0 <= delta < 1".into());
+                }
+                Ok(())
+            }
+            FaultModel::TransientOutage { duration } => {
+                if duration.is_negative() {
+                    return Err("outage duration must be non-negative".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Rewrites a stage's `(rate, latency)` rate-latency parameters
+    /// into the guaranteed degraded pair (see module docs for the
+    /// derivation). The result is exact.
+    pub fn degraded(&self, rate: Rat, latency: Rat) -> (Rat, Rat) {
+        match *self {
+            FaultModel::PeriodicStall { budget, period } => {
+                let avail = (period - budget) / period;
+                (rate * avail, (latency + budget) / avail)
+            }
+            FaultModel::RateDerate { delta } => (rate * (Rat::ONE - delta), latency),
+            FaultModel::TransientOutage { duration } => (rate, latency + duration),
+        }
+    }
+
+    /// Multiplicative long-run rate factor of the fault: the fraction
+    /// of nominal throughput the degraded stage sustains. Used to
+    /// derate the *average*-rate bottleneck (queueing roofline) in
+    /// addition to the guaranteed-rate curve.
+    pub fn rate_factor(&self) -> Rat {
+        match *self {
+            FaultModel::PeriodicStall { budget, period } => (period - budget) / period,
+            FaultModel::RateDerate { delta } => Rat::ONE - delta,
+            FaultModel::TransientOutage { .. } => Rat::ONE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_degradation_is_sound_and_reduces_to_identity() {
+        // 10 ms stall per 100 ms period on a 1000 B/s, 5 ms stage.
+        let f = FaultModel::PeriodicStall {
+            budget: Rat::new(1, 100),
+            period: Rat::new(1, 10),
+        };
+        let (r, t) = f.degraded(Rat::int(1000), Rat::new(5, 1000));
+        // R' = 1000 * 90/100 = 900; T' = (5ms + 10ms) / 0.9 = 15/0.9 ms.
+        assert_eq!(r, Rat::int(900));
+        assert_eq!(t, Rat::new(15, 1000) / Rat::new(9, 10));
+        // Zero budget leaves the curve untouched.
+        let id = FaultModel::PeriodicStall {
+            budget: Rat::ZERO,
+            period: Rat::new(1, 10),
+        };
+        assert_eq!(
+            id.degraded(Rat::int(1000), Rat::new(5, 1000)),
+            (Rat::int(1000), Rat::new(5, 1000))
+        );
+    }
+
+    #[test]
+    fn stall_latency_exceeds_naive_t_plus_s() {
+        // The sound T' = (T + s)·p/(p − s) is strictly larger than the
+        // naive T + s whenever s > 0 — the recurring per-period loss.
+        let f = FaultModel::PeriodicStall {
+            budget: Rat::new(1, 100),
+            period: Rat::new(1, 10),
+        };
+        let (_, t) = f.degraded(Rat::int(1000), Rat::new(5, 1000));
+        assert!(t > Rat::new(15, 1000));
+    }
+
+    #[test]
+    fn derate_scales_rate_only() {
+        let f = FaultModel::RateDerate {
+            delta: Rat::new(1, 4),
+        };
+        let (r, t) = f.degraded(Rat::int(1000), Rat::new(5, 1000));
+        assert_eq!(r, Rat::int(750));
+        assert_eq!(t, Rat::new(5, 1000));
+    }
+
+    #[test]
+    fn outage_extends_latency_only() {
+        let f = FaultModel::TransientOutage {
+            duration: Rat::new(1, 50),
+        };
+        let (r, t) = f.degraded(Rat::int(1000), Rat::ZERO);
+        assert_eq!(r, Rat::int(1000));
+        assert_eq!(t, Rat::new(1, 50));
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(FaultModel::PeriodicStall {
+            budget: Rat::new(1, 10),
+            period: Rat::new(1, 10),
+        }
+        .validate()
+        .unwrap_err()
+        .contains("budget must be < period"));
+        assert!(FaultModel::PeriodicStall {
+            budget: Rat::ZERO,
+            period: Rat::ZERO,
+        }
+        .validate()
+        .unwrap_err()
+        .contains("period must be positive"));
+        assert!(FaultModel::RateDerate { delta: Rat::ONE }
+            .validate()
+            .is_err());
+        assert!(FaultModel::RateDerate {
+            delta: Rat::new(-1, 2)
+        }
+        .validate()
+        .is_err());
+        assert!(FaultModel::TransientOutage {
+            duration: Rat::int(-1)
+        }
+        .validate()
+        .is_err());
+        assert!(FaultModel::RateDerate {
+            delta: Rat::new(99, 100)
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_variant_and_values() {
+        for f in [
+            FaultModel::PeriodicStall {
+                budget: Rat::new(1, 100),
+                period: Rat::new(1, 10),
+            },
+            FaultModel::RateDerate {
+                delta: Rat::new(1, 8),
+            },
+            FaultModel::TransientOutage {
+                duration: Rat::new(3, 1000),
+            },
+        ] {
+            let js = serde_json::to_string(&f).unwrap();
+            let back: FaultModel = serde_json::from_str(&js).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+}

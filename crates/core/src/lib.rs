@@ -29,6 +29,7 @@
 pub mod bounds;
 pub mod cache;
 pub mod curve;
+pub mod fault;
 pub mod num;
 pub mod ops;
 pub mod packetizer;
@@ -38,5 +39,6 @@ pub mod units;
 pub use bounds::{analyze_node, NodeBounds, Regime};
 pub use cache::{CacheStats, CurveCache, CurveOps, DirectOps};
 pub use curve::{Breakpoint, Curve, CurveError};
+pub use fault::FaultModel;
 pub use num::{rat, Rat, Value};
 pub use ops::{min_plus_conv, min_plus_deconv};

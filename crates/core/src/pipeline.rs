@@ -42,6 +42,7 @@ use serde::{Deserialize, Serialize};
 use crate::bounds::{self, Regime};
 use crate::cache::{CacheStats, CurveCache, CurveOps, DirectOps};
 use crate::curve::{shapes, Curve};
+use crate::fault::FaultModel;
 use crate::num::{Rat, Value};
 use crate::ops::{min_plus_conv, min_plus_deconv};
 
@@ -106,6 +107,11 @@ pub struct Node {
     /// Bytes the node emits per completed job, in local units at the
     /// node's output. `job_in : job_out` is the paper's job ratio.
     pub job_out: Rat,
+    /// Optional fault hypothesis: when set, the stage's service curve
+    /// is replaced by the guaranteed degraded rate-latency curve
+    /// (see [`crate::fault::FaultModel`]).
+    #[serde(default)]
+    pub fault: Option<FaultModel>,
 }
 
 impl Node {
@@ -125,7 +131,14 @@ impl Node {
             latency,
             job_in,
             job_out,
+            fault: None,
         }
+    }
+
+    /// Attach a fault hypothesis to the stage (builder style).
+    pub fn with_fault(mut self, fault: FaultModel) -> Node {
+        self.fault = Some(fault);
+        self
     }
 
     /// The job ratio `job_in / job_out` (> 1 compresses, < 1 expands).
@@ -157,6 +170,9 @@ pub enum PipelineError {
     NegativeLatency(String),
     /// The source rate or burst is invalid.
     BadSource,
+    /// A stage's fault model has invalid parameters (message from
+    /// [`FaultModel::validate`]).
+    BadFault(String, String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -167,6 +183,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::BadJobSize(n) => write!(f, "node '{n}': job sizes must be > 0"),
             PipelineError::NegativeLatency(n) => write!(f, "node '{n}': latency must be >= 0"),
             PipelineError::BadSource => write!(f, "source rate must be > 0 and burst >= 0"),
+            PipelineError::BadFault(n, why) => write!(f, "node '{n}': {why}"),
         }
     }
 }
@@ -212,6 +229,11 @@ impl Pipeline {
             }
             if n.latency.is_negative() {
                 return Err(PipelineError::NegativeLatency(n.name.clone()));
+            }
+            if let Some(fault) = &n.fault {
+                if let Err(why) = fault.validate() {
+                    return Err(PipelineError::BadFault(n.name.clone(), why));
+                }
             }
         }
         Ok(())
@@ -405,11 +427,23 @@ impl CascadeState {
 /// the next node. This is the single implementation behind both the
 /// direct and the cached model builds, so the two agree exactly.
 fn stage_step(n: &Node, norm: Rat, st: &mut CascadeState, ops: &mut dyn CurveOps) -> NodeModel {
-    let r_min = n.rates.min * norm;
     let r_avg = n.rates.avg * norm;
     let r_max = n.rates.max * norm;
     let b_in = n.job_in * norm; // input-referred job size b_n
     let l_out = n.job_out * norm * n.job_ratio(); // = b_in: emitted block, input-referred
+
+    // Degraded-service transform (DESIGN.md §11): a fault rewrites the
+    // stage's guaranteed (rate, latency) pair; the average rate is
+    // derated by the long-run factor. The max-service curve γ stays
+    // fault-free — it remains a valid *upper* service bound.
+    let (r_min, eff_latency) = match &n.fault {
+        Some(f) => f.degraded(n.rates.min * norm, n.latency),
+        None => (n.rates.min * norm, n.latency),
+    };
+    let r_avg = match &n.fault {
+        Some(f) => r_avg * f.rate_factor(),
+        None => r_avg,
+    };
 
     // §3 recurrence: collection time applies when this node gathers
     // more than the upstream emits per burst.
@@ -418,10 +452,10 @@ fn stage_step(n: &Node, norm: Rat, st: &mut CascadeState, ops: &mut dyn CurveOps
     } else {
         Rat::ZERO
     };
-    st.t_tot = st.t_tot + collect + n.latency;
+    st.t_tot = st.t_tot + collect + eff_latency;
 
     // Packetized service curve: β'_n = [R_min (t − T_n)]⁺ − l ... ⁺
-    let beta = ops.packetized_service(r_min, n.latency + collect, l_out);
+    let beta = ops.packetized_service(r_min, eff_latency + collect, l_out);
     let gamma = shapes::constant_rate(r_max);
 
     // Bounds for this node against the cascaded arrival (inlined
@@ -489,6 +523,7 @@ struct StageSig {
     latency: Rat,
     job_in: Rat,
     job_out: Rat,
+    fault: Option<FaultModel>,
 }
 
 impl StageSig {
@@ -502,6 +537,7 @@ impl StageSig {
             latency: n.latency,
             job_in: n.job_in,
             job_out: n.job_out,
+            fault: n.fault,
         }
     }
 }
@@ -1113,6 +1149,54 @@ mod tests {
         let direct = p2.build_model();
         assert_eq!(cached.service_concat, direct.service_concat);
         assert_eq!(cached.per_node[1].backlog, direct.per_node[1].backlog);
+    }
+
+    #[test]
+    fn faulted_stage_degrades_concat_bounds_monotonically() {
+        // Derating the bottleneck weakens every concatenated bound:
+        // lower guaranteed rate, larger delay, larger (or equal)
+        // backlog. The degradation flows through the prefix cascade.
+        let p = two_stage();
+        let base = p.build_model();
+        let mut pf = two_stage();
+        pf.nodes[1].fault = Some(FaultModel::RateDerate {
+            delta: Rat::new(1, 4),
+        });
+        pf.validate().unwrap();
+        let deg = pf.build_model();
+        assert_eq!(deg.per_node[1].rate_min, Rat::new(9, 2)); // 6 * 3/4
+        assert!(deg.delay_bound_concat() >= base.delay_bound_concat());
+        assert!(deg.backlog_bound_concat() >= base.backlog_bound_concat());
+        // A stall additionally extends the cascade latency.
+        let mut ps = two_stage();
+        ps.nodes[0].fault = Some(FaultModel::PeriodicStall {
+            budget: Rat::new(1, 10),
+            period: Rat::ONE,
+        });
+        let stalled = ps.build_model();
+        assert!(stalled.total_latency > base.total_latency);
+    }
+
+    #[test]
+    fn fault_is_part_of_the_prefix_cache_key() {
+        // A faulted variant of an already-cached pipeline must MISS the
+        // full-prefix lookup (same name/rates/jobs, different fault) and
+        // produce the same model as a fresh direct build.
+        let mut cache = ModelCache::new();
+        let p = two_stage();
+        let _ = p.build_model_cached(&mut cache);
+        let mut pf = two_stage();
+        pf.nodes[0].fault = Some(FaultModel::TransientOutage {
+            duration: Rat::new(1, 2),
+        });
+        let cached = pf.build_model_cached(&mut cache);
+        assert_eq!(cache.stats().prefix_hits, 0);
+        let direct = pf.build_model();
+        assert_eq!(cached.service_concat, direct.service_concat);
+        assert_eq!(cached.per_node[0].delay, direct.per_node[0].delay);
+        // Re-building the faulted pipeline now hits its own entry.
+        let _ = pf.build_model_cached(&mut cache);
+        assert_eq!(cache.stats().prefix_hits, 1);
     }
 
     #[test]

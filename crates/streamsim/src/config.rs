@@ -3,6 +3,8 @@
 use nc_core::pipeline::Pipeline;
 use serde::{Deserialize, Serialize};
 
+use crate::faults::FaultSchedule;
+
 /// Knobs for one simulation run of a [`Pipeline`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -49,6 +51,13 @@ pub struct SimConfig {
     /// disabled by `trace: true`.
     #[serde(default = "default_fast_forward")]
     pub fast_forward: bool,
+    /// Deterministic fault-injection schedule (stalls, derates, outages
+    /// with per-stage recovery policies). `None` — and any schedule
+    /// with no effective faults — runs the exact fault-free code path,
+    /// bit-identical to the unfaulted simulator. Validated against the
+    /// pipeline at simulation setup.
+    #[serde(default)]
+    pub faults: Option<FaultSchedule>,
 }
 
 fn default_fast_forward() -> bool {
@@ -79,6 +88,7 @@ impl Default for SimConfig {
             trace: true,
             service_model: ServiceModel::Uniform,
             fast_forward: true,
+            faults: None,
         }
     }
 }

@@ -55,6 +55,7 @@ use nc_des::SlotAgenda;
 
 use crate::config::{derive_params, NodeParams, SimConfig};
 use crate::engine::{queue_caps, steady_slope};
+use crate::faults::{FaultRt, FaultRtTicks};
 use crate::result::SimResult;
 use crate::ring::StepRing;
 
@@ -179,6 +180,24 @@ struct Det {
     delivered: bool,
     ff: bool,
     ff_done: bool,
+
+    // Fault injection (integer-tick mirror of `crate::engine`'s).
+    faults: Option<FaultRtTicks>,
+    /// First tick after which no fault window can apply (`u64::MAX`
+    /// when a periodic stall recurs forever). Fast-forward only engages
+    /// at `now ≥ fault_horizon`: beyond it the evolution is time-shift
+    /// invariant again, so fingerprint recurrences stay sound.
+    fault_horizon: u64,
+    /// Input-referred bytes dropped, as an exact numerator over
+    /// `sn_den` (which is scaled to the lcm of all drop quanta at
+    /// setup, so every drop is integral).
+    dropped_num: u128,
+    /// Per-stage input-referred quantum of one dropped job, over
+    /// `sn_den`.
+    drop_amt: Vec<u128>,
+    dropped_jobs: u64,
+    retries: u64,
+    cur_retry: Vec<u32>,
 }
 
 /// Run the deterministic pipeline on the integer-tick engine.
@@ -186,8 +205,16 @@ pub(crate) fn simulate_det(pipeline: &Pipeline, config: &SimConfig) -> SimResult
     pipeline
         .validate()
         .unwrap_or_else(|e| panic!("simulate: invalid pipeline: {e}"));
-    let params = derive_params(pipeline);
+    let mut params = derive_params(pipeline);
     let n = params.len();
+    let faults_rt = config.faults.as_ref().and_then(|fs| {
+        fs.validate(n)
+            .unwrap_or_else(|e| panic!("simulate: invalid fault schedule: {e}"));
+        FaultRt::build(fs, n)
+    });
+    if let Some(fr) = &faults_rt {
+        fr.apply_derates(&mut params);
+    }
 
     let src_chunk = config.source_chunk.unwrap_or(params[0].job_in).max(1);
     let src_rate = pipeline.source.rate.to_f64();
@@ -210,6 +237,49 @@ pub(crate) fn simulate_det(pipeline: &Pipeline, config: &SimConfig) -> SimResult
         let g = gcd128(sn_num, sn_den);
         sn_num /= g;
         sn_den /= g;
+    }
+
+    let faults = faults_rt.as_ref().map(|fr| fr.to_ticks(ticks));
+    let fault_horizon = faults.as_ref().map_or(0, |ft| ft.horizon);
+    // Drop-policy accounting: one dropped job at stage `i` removes
+    // `job_in[i] · norm[i]` input-referred bytes — a rational quantum.
+    // Scale the shared denominator to the lcm of `sn_den` and every
+    // drop stage's quantum denominator so all in-flight/delay levels
+    // stay exact integers. Without drops this leaves `sn_num/sn_den`
+    // untouched (the fault-free arithmetic, bit for bit).
+    let mut drop_amt = vec![0u128; n];
+    if let Some(ft) = &faults {
+        if ft.any_drops() {
+            // quantum_i = job_in[i] · ∏_{j<i} job_in[j]/job_out[j].
+            let (mut nn, mut dd) = (1u128, 1u128);
+            let quanta: Vec<(u128, u128)> = nodes
+                .iter()
+                .map(|nd| {
+                    let qn = nd.job_in as u128 * nn;
+                    let g = gcd128(qn, dd);
+                    let q = (qn / g, dd / g);
+                    nn *= nd.job_in as u128;
+                    dd *= nd.job_out as u128;
+                    let g = gcd128(nn, dd);
+                    nn /= g;
+                    dd /= g;
+                    q
+                })
+                .collect();
+            let mut den = sn_den;
+            for (i, &(_, qd)) in quanta.iter().enumerate() {
+                if ft.drops(i) {
+                    den = den / gcd128(den, qd) * qd;
+                }
+            }
+            sn_num *= den / sn_den;
+            sn_den = den;
+            for (i, &(qn, qd)) in quanta.iter().enumerate() {
+                if ft.drops(i) {
+                    drop_amt[i] = qn * (den / qd);
+                }
+            }
+        }
     }
 
     let mut w = Det {
@@ -249,6 +319,13 @@ pub(crate) fn simulate_det(pipeline: &Pipeline, config: &SimConfig) -> SimResult
         delivered: false,
         ff: config.fast_forward,
         ff_done: false,
+        faults,
+        fault_horizon,
+        dropped_num: 0,
+        drop_amt,
+        dropped_jobs: 0,
+        retries: 0,
+        cur_retry: vec![0u32; n],
     };
 
     let mut fp_map: HashMap<Vec<u64>, Snap> = HashMap::new();
@@ -267,7 +344,7 @@ pub(crate) fn simulate_det(pipeline: &Pipeline, config: &SimConfig) -> SimResult
         } else {
             w.finish(slot - 1);
         }
-        if w.delivered && w.ff && !w.ff_done && !w.trace {
+        if w.delivered && w.ff && !w.ff_done && !w.trace && w.now >= w.fault_horizon {
             w.try_jump(&mut fp_map, &mut fp_buf, &mut fp_clears);
         }
     }
@@ -334,6 +411,26 @@ impl Det {
     }
 
     fn try_start(&mut self, i: usize) {
+        // Drop-policy outage: jobs that would start now are consumed
+        // and discarded (mirrors `crate::engine::World::try_start`).
+        while let Some(ft) = &self.faults {
+            if !(ft.drops(i) && ft.in_outage(i, self.now)) {
+                break;
+            }
+            let job_in = self.nodes[i].job_in;
+            if self.busy[i] || self.pending_out[i].is_some() || self.q_level[i] < job_in {
+                break;
+            }
+            self.q_get(i, job_in);
+            self.dropped_jobs += 1;
+            self.dropped_num += self.drop_amt[i];
+            self.inflight -= self.drop_amt[i] as i128;
+            if i == 0 {
+                self.resume_source();
+            } else {
+                self.try_deliver(i - 1);
+            }
+        }
         let job_in = self.nodes[i].job_in;
         if self.busy[i] || self.pending_out[i].is_some() || self.q_level[i] < job_in {
             return;
@@ -348,7 +445,11 @@ impl Det {
         };
         let exec = self.nodes[i].exec;
         self.busy_ticks[i] += exec;
-        self.agenda.arm(i + 1, self.now + startup + exec);
+        let span = match &self.faults {
+            None => startup + exec,
+            Some(ft) => ft.extend(i, self.now, startup + exec),
+        };
+        self.agenda.arm(i + 1, self.now + span);
         if i == 0 {
             self.resume_source();
         } else {
@@ -379,9 +480,34 @@ impl Det {
         }
     }
 
+    /// Retry-policy outage check at completion time (mirrors
+    /// `crate::engine::World::try_retry`, on ticks).
+    fn try_retry(&mut self, i: usize) -> bool {
+        let Some(ft) = &self.faults else { return false };
+        let Some((base, cap)) = ft.retry_params(i) else {
+            return false;
+        };
+        if !ft.in_outage(i, self.now) {
+            self.cur_retry[i] = 0;
+            return false;
+        }
+        let k = self.cur_retry[i].min(30);
+        let backoff = base.saturating_mul(1u64 << k).min(cap);
+        self.cur_retry[i] = self.cur_retry[i].saturating_add(1);
+        self.retries += 1;
+        let exec = self.nodes[i].exec;
+        self.busy_ticks[i] += exec;
+        let span = backoff + ft.extend(i, self.now + backoff, exec);
+        self.agenda.arm(i + 1, self.now + span);
+        true
+    }
+
     fn finish(&mut self, i: usize) {
         debug_assert!(self.busy[i]);
         debug_assert!(self.pending_out[i].is_none());
+        if self.try_retry(i) {
+            return;
+        }
         self.busy[i] = false;
         self.jobs_done[i] += 1;
         self.pending_out[i] = Some(self.nodes[i].job_out);
@@ -395,7 +521,10 @@ impl Det {
 
         // Virtual delay: when did this cumulative level enter the
         // system? Levels compare exactly as numerators over `sn_den`.
-        let level = (self.out_local as u128 * self.sn_num).min(self.cum_in as u128 * self.sn_den);
+        // Dropped data "exited" too (the `+ 0` is exact when nothing
+        // dropped).
+        let level = (self.out_local as u128 * self.sn_num + self.dropped_num)
+            .min(self.cum_in as u128 * self.sn_den);
         debug_assert!(!self.steps.is_empty());
         while self.cursor + 1 < self.steps.len()
             && (self.steps.get(self.cursor).1 as u128 * self.sn_den) < level
@@ -574,10 +703,13 @@ impl Det {
         });
         // Fingerprint equality pinned the in-flight numerator, so
         // Δin·sn_den == Δout·sn_num and `inflight` is unchanged.
+        // (Drops only happen before `fault_horizon`, and jumping is
+        // gated past it, so `dropped_num` is a constant here.)
         debug_assert_eq!(
             self.inflight,
             self.cum_in as i128 * self.sn_den as i128
                 - self.out_local as i128 * self.sn_num as i128
+                - self.dropped_num as i128
         );
         // One jump consumes all skippable input; the tail runs exactly.
         self.ff_done = true;
@@ -647,6 +779,9 @@ fn assemble(w: &Det, params: &[NodeParams]) -> SimResult {
         trace_out: w.trace_out.clone(),
         per_node,
         events: w.events,
+        dropped_jobs: w.dropped_jobs,
+        dropped_bytes: w.dropped_num as f64 / w.sn_den as f64,
+        retries: w.retries,
     }
 }
 
@@ -690,6 +825,7 @@ mod tests {
             service_model: ServiceModel::Deterministic,
             trace: false,
             fast_forward: ff,
+            faults: None,
         }
     }
 
@@ -806,6 +942,104 @@ mod tests {
         assert_bitwise(&slow, &fast);
         assert!(fast.residual == 0.0);
         assert!(fast.peak_backlog > 64.0 * 100.0);
+    }
+
+    // --- fault injection × fast-forward ---
+
+    use crate::faults::{FaultSchedule, Outage, RecoveryPolicy, StallSpec};
+
+    #[test]
+    fn zero_fault_schedule_is_bit_identical_det() {
+        let p = pipeline(1000, vec![node("a", 800, 64, 64), node("b", 700, 64, 64)]);
+        let base = simulate_det(&p, &cfg(64 * 3000, true));
+        let mut c = cfg(64 * 3000, true);
+        c.faults = Some(FaultSchedule::none(2));
+        let faulted = simulate_det(&p, &c);
+        assert_bitwise(&base, &faulted);
+    }
+
+    #[test]
+    fn fast_forward_bitwise_identical_under_outage_faults() {
+        // Outage windows end: past the fault horizon the run is
+        // time-shift invariant again and the jump must re-engage
+        // losslessly. Exercise Block, Drop, and Retry policies.
+        for (recovery, label) in [
+            (RecoveryPolicy::Block, "block"),
+            (RecoveryPolicy::Drop, "drop"),
+            (
+                RecoveryPolicy::Retry {
+                    base: 0.01,
+                    cap: 0.08,
+                },
+                "retry",
+            ),
+        ] {
+            let p = pipeline(1000, vec![node("a", 800, 64, 64), node("b", 700, 64, 64)]);
+            let mut fs = FaultSchedule::none(2);
+            fs.stages[1].outages = vec![Outage {
+                start: 5.0,
+                duration: 2.0,
+            }];
+            fs.stages[1].recovery = recovery;
+            let mut c_off = cfg(64 * 5000, false);
+            c_off.faults = Some(fs);
+            let mut c_on = c_off.clone();
+            c_on.fast_forward = true;
+            let slow = simulate_det(&p, &c_off);
+            let fast = simulate_det(&p, &c_on);
+            assert_eq!(slow, fast, "policy {label}");
+        }
+    }
+
+    #[test]
+    fn periodic_stall_disables_jump_but_stays_exact() {
+        // A recurring stall never clears the fault horizon: both runs
+        // must step every event and agree bitwise.
+        let p = pipeline(1000, vec![node("a", 800, 64, 64)]);
+        let mut fs = FaultSchedule::none(1);
+        fs.stages[0].stall = Some(StallSpec {
+            budget: 0.01,
+            period: 0.1,
+        });
+        let mut c_off = cfg(64 * 1500, false);
+        c_off.faults = Some(fs);
+        let mut c_on = c_off.clone();
+        c_on.fast_forward = true;
+        let slow = simulate_det(&p, &c_off);
+        let fast = simulate_det(&p, &c_on);
+        assert_bitwise(&slow, &fast);
+        // And the stall really bit: slower than the unfaulted run.
+        let base = simulate_det(&p, &cfg(64 * 1500, true));
+        assert!(fast.makespan > base.makespan);
+    }
+
+    #[test]
+    fn det_drop_accounting_is_exact_with_job_ratios() {
+        // Non-trivial job ratios make the drop quantum a true rational:
+        // the lcm-scaled denominator must keep conservation exact.
+        let p = pipeline(
+            1000,
+            vec![node("pack", 900, 64, 16), node("unpack", 850, 16, 64)],
+        );
+        let total = 64 * 2000;
+        let mut fs = FaultSchedule::none(2);
+        fs.stages[1].outages = vec![Outage {
+            start: 3.0,
+            duration: 5.0,
+        }];
+        fs.stages[1].recovery = RecoveryPolicy::Drop;
+        let mut c = cfg(total, true);
+        c.faults = Some(fs);
+        let r = simulate_det(&p, &c);
+        assert!(r.dropped_jobs > 0);
+        assert!(
+            (r.bytes_out + r.dropped_bytes + r.residual - total as f64).abs() < 1e-6,
+            "out {} + dropped {} + residual {} != {}",
+            r.bytes_out,
+            r.dropped_bytes,
+            r.residual,
+            total
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::config::{derive_params, NodeParams, ServiceModel, SimConfig};
+use crate::faults::FaultRt;
 use crate::result::SimResult;
 use crate::ring::StepRing;
 
@@ -79,6 +80,18 @@ struct World {
     service_model: ServiceModel,
     /// A finished job waiting for downstream space (backpressure).
     pending_out: Vec<Option<u64>>,
+
+    // Fault injection (`None` = the exact fault-free code path; see
+    // `crate::faults` for the zero-fault bit-identity argument).
+    faults: Option<FaultRt>,
+    /// Consecutive failed attempts of the in-flight job, per stage.
+    cur_retry: Vec<u32>,
+    /// Last sampled execution time per stage (re-run verbatim on retry).
+    last_exec: Vec<f64>,
+    dropped_jobs: u64,
+    /// Input-referred bytes carried by dropped jobs.
+    dropped_norm: f64,
+    retries: u64,
 
     // Source.
     src_remaining: u64,
@@ -155,8 +168,18 @@ pub fn simulate_in(arena: &mut SimArena, pipeline: &Pipeline, config: &SimConfig
     pipeline
         .validate()
         .unwrap_or_else(|e| panic!("simulate: invalid pipeline: {e}"));
-    let params = derive_params(pipeline);
+    let mut params = derive_params(pipeline);
     let n = params.len();
+    let faults = config.faults.as_ref().and_then(|fs| {
+        fs.validate(n)
+            .unwrap_or_else(|e| panic!("simulate: invalid fault schedule: {e}"));
+        FaultRt::build(fs, n)
+    });
+    if let Some(fr) = &faults {
+        // Derates scale the service-time parameters before sampling, so
+        // every engine draws from identically scaled distributions.
+        fr.apply_derates(&mut params);
+    }
 
     let src_chunk = config.source_chunk.unwrap_or(params[0].job_in).max(1);
     let src_rate = pipeline.source.rate.to_f64();
@@ -185,6 +208,12 @@ pub fn simulate_in(arena: &mut SimArena, pipeline: &Pipeline, config: &SimConfig
         jobs_done: vec![0u64; n],
         service_model: config.service_model,
         pending_out: vec![None; n],
+        faults,
+        cur_retry: vec![0u32; n],
+        last_exec: vec![0.0; n],
+        dropped_jobs: 0,
+        dropped_norm: 0.0,
+        retries: 0,
         src_remaining: config.total_input,
         src_chunk,
         src_interval: src_chunk as f64 / src_rate,
@@ -333,6 +362,9 @@ fn assemble(w: &World) -> SimResult {
         trace_out: w.trace_out.clone(),
         per_node,
         events: w.events,
+        dropped_jobs: w.dropped_jobs,
+        dropped_bytes: w.dropped_norm,
+        retries: w.retries,
     }
 }
 
@@ -385,6 +417,28 @@ impl World {
     /// `i == 0`).
     fn try_start(&mut self, i: usize) {
         let now = self.now;
+        // Drop-policy outage: any job that would *start* inside the
+        // window is consumed and discarded instead, and the freed queue
+        // space wakes upstream exactly as a real start would.
+        while let Some(fr) = &self.faults {
+            if !(fr.drops(i) && fr.in_outage(i, now.as_secs())) {
+                break;
+            }
+            let job_in = self.params[i].job_in;
+            if self.busy[i] || self.pending_out[i].is_some() || !self.queues[i].can_get(job_in) {
+                break;
+            }
+            self.queues[i].get(now, job_in);
+            let dn = job_in as f64 * self.params[i].norm_in;
+            self.dropped_jobs += 1;
+            self.dropped_norm += dn;
+            self.in_system.add(now, -dn);
+            if i == 0 {
+                self.resume_source();
+            } else {
+                self.try_deliver(i - 1);
+            }
+        }
         let p = &self.params[i];
         if self.busy[i] || self.pending_out[i].is_some() || !self.queues[i].can_get(p.job_in) {
             return;
@@ -407,7 +461,17 @@ impl World {
         };
         let exec = dist.sample(&mut self.rng);
         self.busy_time[i] += exec;
-        self.agenda.arm(i + 1, now + Span::secs(startup + exec));
+        // Occupancy = service time, extended across any freeze window
+        // (periodic stall, Block-policy outage) it straddles. With no
+        // faults the span is exactly `startup + exec`.
+        let span = match &self.faults {
+            None => startup + exec,
+            Some(fr) => {
+                self.last_exec[i] = exec;
+                fr.extend(i, now.as_secs(), startup + exec)
+            }
+        };
+        self.agenda.arm(i + 1, now + Span::secs(span));
         if i == 0 {
             self.resume_source();
         } else {
@@ -451,10 +515,41 @@ impl World {
         }
     }
 
+    /// Retry-policy outage check at completion time: an attempt whose
+    /// completion lands strictly inside an outage window fails and is
+    /// re-executed after a capped exponential backoff. Curtailed
+    /// (frozen) completions land *at* window ends — outside the
+    /// half-open window — so Block semantics never trip this. Returns
+    /// `true` when the completion was swallowed by a retry.
+    fn try_retry(&mut self, i: usize) -> bool {
+        let Some(fr) = &self.faults else { return false };
+        let Some((base, cap)) = fr.retry_params(i) else {
+            return false;
+        };
+        let t = self.now.as_secs();
+        if !fr.in_outage(i, t) {
+            self.cur_retry[i] = 0;
+            return false;
+        }
+        let k = self.cur_retry[i].min(30);
+        let backoff = (base * (1u64 << k) as f64).min(cap);
+        self.cur_retry[i] = self.cur_retry[i].saturating_add(1);
+        self.retries += 1;
+        // The same execution is re-run in full (work done twice).
+        let exec = self.last_exec[i];
+        self.busy_time[i] += exec;
+        let span = backoff + fr.extend(i, t + backoff, exec);
+        self.agenda.arm(i + 1, self.now + Span::secs(span));
+        true
+    }
+
     /// Node `i` finished a job: its output becomes pending delivery.
     fn finish(&mut self, i: usize) {
         debug_assert!(self.busy[i]);
         debug_assert!(self.pending_out[i].is_none());
+        if self.try_retry(i) {
+            return;
+        }
         self.busy[i] = false;
         self.jobs_done[i] += 1;
         self.pending_out[i] = Some(self.params[i].job_out);
@@ -474,7 +569,9 @@ impl World {
         // system? The level only ever grows, so the stairstep inverse
         // lookup is a cursor that advances monotonically through
         // `input_steps`.
-        let level = self.cum_out.min(self.cum_in);
+        // Dropped data "exited" too, so the virtual-delay inverse lookup
+        // must skip past it (`+ 0.0` is exact when nothing dropped).
+        let level = (self.cum_out + self.dropped_norm).min(self.cum_in);
         debug_assert!(!self.input_steps.is_empty());
         while self.delay_cursor + 1 < self.input_steps.len()
             && self.input_steps.get(self.delay_cursor).1 < level - 1e-9
@@ -549,6 +646,7 @@ mod tests {
             service_model: ServiceModel::Uniform,
             trace: true,
             fast_forward: true,
+            faults: None,
         }
     }
 
@@ -819,5 +917,144 @@ mod tests {
     fn steady_slope_zero_total_is_none() {
         let t: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 0.0)).collect();
         assert_eq!(steady_slope(&t), None);
+    }
+
+    // --- fault injection ---
+
+    use crate::faults::{FaultSchedule, Outage, RecoveryPolicy, StallSpec};
+
+    #[test]
+    fn zero_fault_schedule_is_bit_identical() {
+        // An all-default schedule must take the literal fault-free code
+        // path: whole-result equality, not tolerance.
+        let p = pipeline(
+            800,
+            vec![node("a", 600, 900, 64, 64), node("b", 500, 700, 64, 64)],
+        );
+        let base = simulate(&p, &cfg(64 * 200));
+        let mut c = cfg(64 * 200);
+        c.faults = Some(FaultSchedule::none(2));
+        let faulted = simulate(&p, &c);
+        assert_eq!(base, faulted);
+        assert_eq!(faulted.dropped_jobs, 0);
+        assert_eq!(faulted.retries, 0);
+    }
+
+    #[test]
+    fn stall_fault_halves_throughput() {
+        // 50 ms frozen per 100 ms on the only stage: long-run service
+        // rate halves, and the source outruns it.
+        let p = pipeline(2000, vec![node("s", 1000, 1000, 64, 64)]);
+        let mut c = cfg(64 * 400);
+        let mut fs = FaultSchedule::none(1);
+        fs.stages[0].stall = Some(StallSpec {
+            budget: 0.05,
+            period: 0.1,
+        });
+        c.faults = Some(fs);
+        let base = simulate(&p, &cfg(64 * 400));
+        let faulted = simulate(&p, &c);
+        assert!(
+            faulted.throughput < 0.65 * base.throughput,
+            "faulted {} vs base {}",
+            faulted.throughput,
+            base.throughput
+        );
+        assert_eq!(faulted.dropped_jobs, 0); // Block policy: no loss
+        assert!((faulted.bytes_out - base.bytes_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derate_fault_scales_service_times() {
+        let p = pipeline(2000, vec![node("s", 1000, 1000, 64, 64)]);
+        let mut c = cfg(64 * 400);
+        let mut fs = FaultSchedule::none(1);
+        fs.stages[0].derate = 0.5;
+        c.faults = Some(fs);
+        let base = simulate(&p, &cfg(64 * 400));
+        let faulted = simulate(&p, &c);
+        assert!(
+            (faulted.throughput - 0.5 * base.throughput).abs() / base.throughput < 0.1,
+            "faulted {} vs base {}",
+            faulted.throughput,
+            base.throughput
+        );
+    }
+
+    #[test]
+    fn drop_policy_counts_discarded_volume() {
+        // A long mid-run outage on the only stage with Drop recovery:
+        // jobs arriving in the window are discarded and accounted.
+        let p = pipeline(1000, vec![node("s", 1000, 1000, 64, 64)]);
+        let total = 64 * 200;
+        let mut c = cfg(total);
+        let mut fs = FaultSchedule::none(1);
+        fs.stages[0].outages = vec![Outage {
+            start: 2.0,
+            duration: 4.0,
+        }];
+        fs.stages[0].recovery = RecoveryPolicy::Drop;
+        c.faults = Some(fs);
+        let r = simulate(&p, &c);
+        assert!(r.dropped_jobs > 0, "nothing dropped");
+        assert_eq!(r.dropped_bytes, r.dropped_jobs as f64 * 64.0);
+        // Conservation: delivered + dropped + residual = offered.
+        assert!(
+            (r.bytes_out + r.dropped_bytes + r.residual - total as f64).abs() < 1e-6,
+            "out {} + dropped {} + residual {} != {}",
+            r.bytes_out,
+            r.dropped_bytes,
+            r.residual,
+            total
+        );
+        assert_eq!(r.retries, 0);
+    }
+
+    #[test]
+    fn retry_policy_redelivers_everything() {
+        // An outage on the stage with Retry recovery: attempts failing
+        // inside the window back off and re-run; no data is lost.
+        let p = pipeline(1000, vec![node("s", 1000, 1000, 64, 64)]);
+        let total = 64 * 200;
+        let mut c = cfg(total);
+        let mut fs = FaultSchedule::none(1);
+        fs.stages[0].outages = vec![Outage {
+            start: 2.0,
+            duration: 1.0,
+        }];
+        fs.stages[0].recovery = RecoveryPolicy::Retry {
+            base: 0.01,
+            cap: 0.16,
+        };
+        c.faults = Some(fs);
+        let base = simulate(&p, &cfg(total));
+        let r = simulate(&p, &c);
+        assert!(r.retries > 0, "no retries fired");
+        assert_eq!(r.dropped_jobs, 0);
+        assert!((r.bytes_out - base.bytes_out).abs() < 1e-9);
+        assert!(r.makespan > base.makespan);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic_given_seed() {
+        let p = pipeline(
+            800,
+            vec![node("a", 600, 900, 64, 64), node("b", 500, 700, 64, 64)],
+        );
+        let mut c = cfg(64 * 100);
+        let mut fs = FaultSchedule::none(2);
+        fs.seed = 99;
+        fs.stages[0].stall = Some(StallSpec {
+            budget: 0.02,
+            period: 0.2,
+        });
+        fs.stages[1].outages = vec![Outage {
+            start: 1.0,
+            duration: 0.5,
+        }];
+        c.faults = Some(fs);
+        let r1 = simulate(&p, &c);
+        let r2 = simulate(&p, &c);
+        assert_eq!(r1, r2);
     }
 }

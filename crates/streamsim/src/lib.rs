@@ -41,11 +41,13 @@
 mod config;
 mod det;
 mod engine;
+mod faults;
 mod reference;
 mod result;
 mod ring;
 
 pub use config::{ServiceModel, SimConfig};
 pub use engine::{simulate, simulate_in, SimArena};
+pub use faults::{ConfigError, FaultSchedule, Outage, RecoveryPolicy, StageFault, StallSpec};
 pub use reference::simulate_reference;
 pub use result::{NodeStats, SimResult};

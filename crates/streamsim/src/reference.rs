@@ -26,6 +26,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::config::{derive_params, NodeParams, ServiceModel, SimConfig};
 use crate::engine::steady_slope;
+use crate::faults::FaultRt;
 use crate::result::SimResult;
 
 struct World {
@@ -42,6 +43,16 @@ struct World {
     service_model: ServiceModel,
     /// A finished job waiting for downstream space (backpressure).
     pending_out: Vec<Option<u64>>,
+
+    // Fault injection — mirrors `crate::engine` exactly (the fault
+    // layer predates nothing here: it is injected into both engines in
+    // lock-step so the bitwise-equivalence property keeps holding).
+    faults: Option<FaultRt>,
+    cur_retry: Vec<u32>,
+    last_exec: Vec<f64>,
+    dropped_jobs: u64,
+    dropped_norm: f64,
+    retries: u64,
 
     // Source.
     src_remaining: u64,
@@ -83,8 +94,16 @@ pub fn simulate_reference(pipeline: &Pipeline, config: &SimConfig) -> SimResult 
     pipeline
         .validate()
         .unwrap_or_else(|e| panic!("simulate: invalid pipeline: {e}"));
-    let params = derive_params(pipeline);
+    let mut params = derive_params(pipeline);
     let n = params.len();
+    let faults = config.faults.as_ref().and_then(|fs| {
+        fs.validate(n)
+            .unwrap_or_else(|e| panic!("simulate: invalid fault schedule: {e}"));
+        FaultRt::build(fs, n)
+    });
+    if let Some(fr) = &faults {
+        fr.apply_derates(&mut params);
+    }
 
     let src_chunk = config.source_chunk.unwrap_or(params[0].job_in).max(1);
     let src_rate = pipeline.source.rate.to_f64();
@@ -144,6 +163,12 @@ pub fn simulate_reference(pipeline: &Pipeline, config: &SimConfig) -> SimResult 
         jobs_done: vec![0u64; n],
         service_model: config.service_model,
         pending_out: vec![None; n],
+        faults,
+        cur_retry: vec![0u32; n],
+        last_exec: vec![0.0; n],
+        dropped_jobs: 0,
+        dropped_norm: 0.0,
+        retries: 0,
         src_remaining: config.total_input,
         src_chunk,
         src_interval: src_chunk as f64 / src_rate,
@@ -217,6 +242,9 @@ pub fn simulate_reference(pipeline: &Pipeline, config: &SimConfig) -> SimResult 
         trace_out: w.trace_out.clone(),
         per_node,
         events: sim.events_processed(),
+        dropped_jobs: w.dropped_jobs,
+        dropped_bytes: w.dropped_norm,
+        retries: w.retries,
     };
     pool.put(sim);
     result
@@ -257,6 +285,29 @@ fn source_emit(sim: &mut Sim<S>) {
 /// upstream delivery (or the stalled source when `i == 0`).
 fn try_start(sim: &mut Sim<S>, i: usize) {
     let now = sim.now();
+    // Drop-policy outage: jobs that would start now are consumed and
+    // discarded (mirrors `crate::engine::World::try_start`).
+    loop {
+        let w = &mut sim.state;
+        let Some(fr) = &w.faults else { break };
+        if !(fr.drops(i) && fr.in_outage(i, now.as_secs())) {
+            break;
+        }
+        let job_in = w.params[i].job_in;
+        if w.busy[i] || w.pending_out[i].is_some() || !w.queues[i].can_get(job_in) {
+            break;
+        }
+        w.queues[i].get(now, job_in);
+        let dn = job_in as f64 * w.params[i].norm_in;
+        w.dropped_jobs += 1;
+        w.dropped_norm += dn;
+        w.in_system.add(now, -dn);
+        if i == 0 {
+            resume_source(sim);
+        } else {
+            try_deliver(sim, i - 1);
+        }
+    }
     let w = &mut sim.state;
     let p = &w.params[i];
     if w.busy[i] || w.pending_out[i].is_some() || !w.queues[i].can_get(p.job_in) {
@@ -280,7 +331,14 @@ fn try_start(sim: &mut Sim<S>, i: usize) {
     };
     let exec = dist.sample(&mut w.rng);
     w.busy_time[i] += exec;
-    sim.schedule_in(Span::secs(startup + exec), move |sim| finish(sim, i));
+    let span = match &w.faults {
+        None => startup + exec,
+        Some(fr) => {
+            w.last_exec[i] = exec;
+            fr.extend(i, now.as_secs(), startup + exec)
+        }
+    };
+    sim.schedule_in(Span::secs(span), move |sim| finish(sim, i));
     if i == 0 {
         resume_source(sim);
     } else {
@@ -317,10 +375,40 @@ fn resume_source(sim: &mut Sim<S>) {
     }
 }
 
+/// Retry-policy outage check at completion time (mirrors
+/// `crate::engine::World::try_retry`). Returns `true` when the
+/// completion was swallowed by a retry.
+fn try_retry(sim: &mut Sim<S>, i: usize) -> bool {
+    let t = sim.now().as_secs();
+    let span = {
+        let w = &mut sim.state;
+        let Some(fr) = &w.faults else { return false };
+        let Some((base, cap)) = fr.retry_params(i) else {
+            return false;
+        };
+        if !fr.in_outage(i, t) {
+            w.cur_retry[i] = 0;
+            return false;
+        }
+        let k = w.cur_retry[i].min(30);
+        let backoff = (base * (1u64 << k) as f64).min(cap);
+        w.cur_retry[i] = w.cur_retry[i].saturating_add(1);
+        w.retries += 1;
+        let exec = w.last_exec[i];
+        w.busy_time[i] += exec;
+        backoff + fr.extend(i, t + backoff, exec)
+    };
+    sim.schedule_in(Span::secs(span), move |sim| finish(sim, i));
+    true
+}
+
 /// Node `i` finished a job: its output becomes pending delivery.
 fn finish(sim: &mut Sim<S>, i: usize) {
     debug_assert!(sim.state.busy[i]);
     debug_assert!(sim.state.pending_out[i].is_none());
+    if try_retry(sim, i) {
+        return;
+    }
     sim.state.busy[i] = false;
     sim.state.jobs_done[i] += 1;
     sim.state.pending_out[i] = Some(sim.state.params[i].job_out);
@@ -340,7 +428,7 @@ fn deliver_to_sink(sim: &mut Sim<S>, local_bytes: u64) {
     // Virtual delay: when did this cumulative level enter the system?
     // The level only ever grows, so the stairstep inverse lookup is a
     // cursor that advances monotonically through `input_steps`.
-    let level = w.cum_out.min(w.cum_in);
+    let level = (w.cum_out + w.dropped_norm).min(w.cum_in);
     debug_assert!(!w.input_steps.is_empty());
     while w.delay_cursor + 1 < w.input_steps.len() && w.input_steps[w.delay_cursor].1 < level - 1e-9
     {

@@ -64,4 +64,14 @@ pub struct SimResult {
     pub per_node: Vec<NodeStats>,
     /// Events executed by the kernel.
     pub events: u64,
+    /// Jobs discarded by `Drop`-policy stages during outage windows
+    /// (zero without fault injection).
+    pub dropped_jobs: u64,
+    /// Input-referred bytes those dropped jobs carried. Dropped data
+    /// counts as "left the pipeline" for backlog accounting but is not
+    /// included in `bytes_out`.
+    pub dropped_bytes: f64,
+    /// Execution attempts re-run by `Retry`-policy stages after an
+    /// outage-window failure (zero without fault injection).
+    pub retries: u64,
 }

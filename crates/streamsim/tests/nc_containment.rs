@@ -110,6 +110,7 @@ proptest! {
             service_model: nc_streamsim::ServiceModel::Uniform,
             trace: true,
             fast_forward: true,
+            faults: None,
         };
         let r = simulate(&p, &cfg);
 

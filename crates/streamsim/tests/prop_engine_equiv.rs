@@ -117,6 +117,7 @@ fn cfg(case: &GenCase, model: ServiceModel, seed: u64, trace: bool, ff: bool) ->
         trace,
         service_model: model,
         fast_forward: ff,
+        faults: None,
     }
 }
 

@@ -168,6 +168,119 @@ pub struct SweepSpec {
     pub sim: Option<SimConfig>,
 }
 
+/// Errors detected by [`SweepSpec::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// The base pipeline failed [`Pipeline::validate`].
+    Pipeline(nc_core::pipeline::PipelineError),
+    /// An axis references a stage index outside the base pipeline.
+    AxisStageOutOfRange {
+        /// The axis label.
+        axis: String,
+        /// Number of stages in the base pipeline.
+        stages: usize,
+    },
+    /// A swept value is invalid for its parameter (negative or zero
+    /// rate, negative latency, non-positive block size…).
+    BadAxisValue {
+        /// The axis label.
+        axis: String,
+        /// The offending value.
+        value: Rat,
+        /// Which constraint it violates.
+        why: &'static str,
+    },
+    /// A throughput horizon is not strictly positive.
+    BadHorizon(Rat),
+    /// The per-point simulation's fault schedule is invalid for the
+    /// base pipeline (wrapped [`nc_streamsim::ConfigError`]).
+    Faults(nc_streamsim::ConfigError),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Pipeline(e) => write!(f, "base pipeline: {e}"),
+            SpecError::AxisStageOutOfRange { axis, stages } => {
+                write!(
+                    f,
+                    "axis {axis}: stage index out of range (pipeline has {stages} stages)"
+                )
+            }
+            SpecError::BadAxisValue { axis, value, why } => {
+                write!(f, "axis {axis}: value {} {why}", value.to_f64())
+            }
+            SpecError::BadHorizon(h) => {
+                write!(f, "throughput horizon {} must be positive", h.to_f64())
+            }
+            SpecError::Faults(e) => write!(f, "sim fault schedule: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SweepSpec {
+    /// Check the spec end to end *before* expanding the grid: base
+    /// pipeline structure, every axis value against its parameter's
+    /// domain, horizons, and — when a simulation with fault injection
+    /// is attached — the fault schedule against the base pipeline.
+    /// Returns the first violation as a typed error instead of letting
+    /// a worker panic mid-sweep.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.base.validate().map_err(SpecError::Pipeline)?;
+        let stages = self.base.nodes.len();
+        for axis in &self.axes {
+            let label = axis.param.label();
+            let stage = match axis.param {
+                Param::SourceRate | Param::SourceBurst => None,
+                Param::Rate(i)
+                | Param::RateScale(i)
+                | Param::Latency(i)
+                | Param::BlockSize(i)
+                | Param::CompressionRatio(i) => Some(i),
+            };
+            if stage.is_some_and(|i| i >= stages) {
+                return Err(SpecError::AxisStageOutOfRange {
+                    axis: label,
+                    stages,
+                });
+            }
+            for &value in &axis.values {
+                let why = match axis.param {
+                    Param::SourceRate | Param::Rate(_) | Param::RateScale(_) => {
+                        (!value.is_positive()).then_some("must be a positive rate")
+                    }
+                    Param::SourceBurst | Param::Latency(_) => {
+                        value.is_negative().then_some("must be non-negative")
+                    }
+                    Param::BlockSize(_) | Param::CompressionRatio(_) => {
+                        (!value.is_positive()).then_some("must be positive")
+                    }
+                };
+                if let Some(why) = why {
+                    return Err(SpecError::BadAxisValue {
+                        axis: label,
+                        value,
+                        why,
+                    });
+                }
+            }
+        }
+        for &h in &self.horizons {
+            if !h.is_positive() {
+                return Err(SpecError::BadHorizon(h));
+            }
+        }
+        if let Some(sim) = &self.sim {
+            if let Some(fs) = &sim.faults {
+                fs.validate(stages).map_err(SpecError::Faults)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One point of the expanded grid.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GridPoint {
@@ -502,6 +615,45 @@ mod tests {
                 ),
             ],
         )
+    }
+
+    #[test]
+    fn validate_accepts_a_sane_spec_and_names_each_violation() {
+        let ok = SweepSpec {
+            base: base(),
+            axes: vec![Axis::new(Param::SourceRate, vec![Rat::int(40)])],
+            horizons: vec![Rat::int(1)],
+            sim: None,
+        };
+        assert_eq!(ok.validate(), Ok(()));
+
+        let mut bad = ok.clone();
+        bad.axes = vec![Axis::new(Param::Rate(5), vec![Rat::int(40)])];
+        assert!(matches!(
+            bad.validate(),
+            Err(SpecError::AxisStageOutOfRange { stages: 2, .. })
+        ));
+
+        let mut bad = ok.clone();
+        bad.axes = vec![Axis::new(Param::SourceRate, vec![Rat::int(-40)])];
+        let e = bad.validate().unwrap_err();
+        assert!(e.to_string().contains("positive rate"), "{e}");
+
+        let mut bad = ok.clone();
+        bad.horizons = vec![Rat::ZERO];
+        assert_eq!(bad.validate(), Err(SpecError::BadHorizon(Rat::ZERO)));
+
+        // An invalid fault schedule surfaces as a typed, wrapped error.
+        let mut schedule = nc_streamsim::FaultSchedule::none(2);
+        schedule.stages[0].derate = 1.5;
+        let mut bad = ok.clone();
+        bad.sim = Some(SimConfig {
+            faults: Some(schedule),
+            ..SimConfig::default()
+        });
+        let e = bad.validate().unwrap_err();
+        assert!(matches!(e, SpecError::Faults(_)));
+        assert!(e.to_string().contains("derate"), "{e}");
     }
 
     #[test]

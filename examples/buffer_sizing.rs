@@ -67,6 +67,7 @@ fn run_with_caps(caps: Option<Vec<u64>>) -> (f64, f64) {
             service_model: streamcalc::streamsim::ServiceModel::Uniform,
             trace: false,
             fast_forward: true,
+            faults: None,
         },
     );
     (r.throughput / 1048576.0, r.peak_backlog / 1048576.0)

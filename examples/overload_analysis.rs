@@ -53,6 +53,7 @@ fn main() {
                 service_model: streamcalc::streamsim::ServiceModel::Uniform,
                 trace: false,
                 fast_forward: true,
+                faults: None,
             },
         );
         println!(

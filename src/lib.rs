@@ -51,3 +51,6 @@ pub use nc_workloads as workloads;
 
 /// Paper applications (re-export of `nc-apps`).
 pub use nc_apps as apps;
+
+/// Cached parameter-sweep engine (re-export of `nc-sweep`).
+pub use nc_sweep as sweep;

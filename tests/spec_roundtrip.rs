@@ -80,3 +80,140 @@ fn malformed_specs_rejected() {
     let p: Pipeline = serde_json::from_str(bad_rates).unwrap();
     assert!(p.validate().is_err(), "min > avg must fail validation");
 }
+
+// ---------------------------------------------------------------------
+// Error paths: invalid values anywhere on the spec surface must come
+// back as *typed* errors with actionable messages — never panics.
+// ---------------------------------------------------------------------
+
+#[test]
+fn negative_rate_spec_reports_the_node() {
+    let raw = r#"{
+        "name":"x","source":{"rate":100,"burst":0},
+        "nodes":[{"name":"enc","kind":"Compute",
+                  "rates":{"min":-50,"avg":150,"max":300},
+                  "latency":0,"job_in":10,"job_out":10}]}"#;
+    let p: Pipeline = serde_json::from_str(raw).unwrap();
+    let e = p.validate().unwrap_err();
+    assert_eq!(e.to_string(), "node 'enc': need 0 < min <= avg <= max");
+}
+
+#[test]
+fn faulted_pipeline_spec_rejects_bad_fault_parameters() {
+    // Zero stall period on a stage's fault hypothesis.
+    let raw = r#"{
+        "name":"x","source":{"rate":100,"burst":0},
+        "nodes":[{"name":"gpu","kind":"Compute",
+                  "rates":{"min":200,"avg":250,"max":300},
+                  "latency":0,"job_in":10,"job_out":10,
+                  "fault":{"PeriodicStall":{"budget":0,"period":0}}}]}"#;
+    let p: Pipeline = serde_json::from_str(raw).unwrap();
+    let e = p.validate().unwrap_err();
+    assert_eq!(e.to_string(), "node 'gpu': stall period must be positive");
+
+    // Stall budget at (or above) the period.
+    let raw = raw.replace(
+        r#""budget":0,"period":0"#,
+        r#""budget":[1,10],"period":[1,10]"#,
+    );
+    let p: Pipeline = serde_json::from_str(&raw).unwrap();
+    let e = p.validate().unwrap_err();
+    assert_eq!(e.to_string(), "node 'gpu': stall budget must be < period");
+}
+
+#[test]
+fn fault_schedule_json_errors_are_typed_and_named() {
+    use streamcalc::streamsim::{ConfigError, FaultSchedule};
+
+    // Overlapping outage windows.
+    let raw = r#"{"seed":1,"stages":[
+        {"outages":[{"start":1.0,"duration":2.0},{"start":2.5,"duration":1.0}]}]}"#;
+    let fs: FaultSchedule = serde_json::from_str(raw).unwrap();
+    let e = fs.validate(1).unwrap_err();
+    assert_eq!(e, ConfigError::OverlappingOutages { stage: 0 });
+    assert_eq!(e.to_string(), "stage 0: overlapping outage windows");
+
+    // Stall budget >= period.
+    let raw = r#"{"seed":1,"stages":[{"stall":{"budget":0.5,"period":0.5}}]}"#;
+    let fs: FaultSchedule = serde_json::from_str(raw).unwrap();
+    let e = fs.validate(1).unwrap_err();
+    assert_eq!(e, ConfigError::StallExceedsPeriod { stage: 0 });
+    assert_eq!(e.to_string(), "stage 0: stall budget must be < period");
+
+    // Zero stall period.
+    let raw = r#"{"seed":1,"stages":[{"stall":{"budget":0.0,"period":0.0}}]}"#;
+    let fs: FaultSchedule = serde_json::from_str(raw).unwrap();
+    let e = fs.validate(1).unwrap_err();
+    assert_eq!(e, ConfigError::ZeroStallPeriod { stage: 0 });
+
+    // Derate outside [0, 1).
+    let raw = r#"{"seed":1,"stages":[{"derate":-0.25}]}"#;
+    let fs: FaultSchedule = serde_json::from_str(raw).unwrap();
+    let e = fs.validate(1).unwrap_err();
+    assert_eq!(e, ConfigError::BadDerate { stage: 0 });
+    assert_eq!(
+        e.to_string(),
+        "stage 0: rate derate must satisfy 0 <= derate < 1"
+    );
+
+    // Stage-count mismatch against the pipeline it is applied to.
+    let fs = FaultSchedule::none(2);
+    let e = fs.validate(3).unwrap_err();
+    assert_eq!(
+        e,
+        ConfigError::FaultStageCount {
+            expected: 3,
+            got: 2
+        }
+    );
+    assert_eq!(
+        e.to_string(),
+        "fault schedule has 2 stage entries for a 3-stage pipeline"
+    );
+
+    // Retry backoff with cap below base.
+    let raw = r#"{"seed":1,"stages":[{"recovery":{"Retry":{"base":0.01,"cap":0.001}}}]}"#;
+    let fs: FaultSchedule = serde_json::from_str(raw).unwrap();
+    let e = fs.validate(1).unwrap_err();
+    assert_eq!(e, ConfigError::BadRetryBackoff { stage: 0 });
+}
+
+#[test]
+fn sweep_spec_validation_is_typed_end_to_end() {
+    use streamcalc::core::num::Rat as R;
+    use streamcalc::sweep::{Axis, Param, SpecError, SweepSpec};
+
+    let base = streamcalc::apps::bitw::light_pipeline();
+    let spec = SweepSpec {
+        base: base.clone(),
+        axes: vec![Axis::new(Param::SourceRate, vec![R::int(1 << 20)])],
+        horizons: vec![R::int(1)],
+        sim: None,
+    };
+    assert_eq!(spec.validate(), Ok(()));
+
+    // Negative swept rate.
+    let mut bad = spec.clone();
+    bad.axes = vec![Axis::new(Param::SourceRate, vec![R::int(-1)])];
+    let e = bad.validate().unwrap_err();
+    assert!(
+        matches!(e, SpecError::BadAxisValue { .. }),
+        "got {e:?} instead of BadAxisValue"
+    );
+    assert!(e.to_string().contains("positive rate"), "{e}");
+
+    // An invalid fault schedule inside the attached sim config.
+    let mut schedule = streamcalc::streamsim::FaultSchedule::none(base.nodes.len());
+    schedule.stages[0].stall = Some(streamcalc::streamsim::StallSpec {
+        budget: 1.0,
+        period: 0.5,
+    });
+    let mut bad = spec;
+    bad.sim = Some(streamcalc::streamsim::SimConfig {
+        faults: Some(schedule),
+        ..Default::default()
+    });
+    let e = bad.validate().unwrap_err();
+    assert!(matches!(e, SpecError::Faults(_)), "got {e:?}");
+    assert!(e.to_string().contains("stall budget"), "{e}");
+}
