@@ -194,6 +194,7 @@ pub fn sim_config(seed: u64) -> SimConfig {
         service_model: nc_streamsim::ServiceModel::Uniform,
         fast_forward: true,
         faults: None,
+        workers: None,
     }
 }
 
@@ -235,6 +236,7 @@ pub fn faulted_sim_config(seed: u64) -> SimConfig {
     SimConfig {
         total_input: FAULTED_TOTAL,
         faults: Some(schedule),
+        workers: None,
         ..sim_config(seed)
     }
 }

@@ -1,0 +1,57 @@
+//! Worker-count scaling of the stage-parallel simulation engine
+//! (DESIGN.md §12): the BITW pipeline at 64 MiB and 1 GiB, run by the
+//! sequential thinned engine (`workers: None`) and by the conservative
+//! PDES at 1/2/4/8 workers.
+//!
+//! The parallel engine's results are bit-identical across worker
+//! counts (property-tested in `nc-streamsim/tests/prop_par.rs`), so
+//! these rows time the *same computation* under different thread
+//! partitions. On a single-vCPU host every worker count serializes and
+//! the rows measure pure synchronization overhead; the speedup target
+//! (≥2x at 4 workers on the 1 GiB run) is only observable on hosts
+//! with ≥4 cores.
+//!
+//! `PAR_SCALING_SMOKE=1` (the `check.sh` lane) drops the 1 GiB rows so
+//! `--test` mode stays fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nc_apps::bitw;
+use nc_streamsim::{simulate, SimConfig};
+
+fn config(total: u64, workers: Option<usize>) -> SimConfig {
+    let mut c = bitw::sim_config(42);
+    c.total_input = total;
+    c.trace = false;
+    c.workers = workers;
+    c
+}
+
+fn bench_par_scaling(c: &mut Criterion) {
+    let pipeline = bitw::sim_pipeline();
+    let smoke = std::env::var_os("PAR_SCALING_SMOKE").is_some();
+    let sizes: &[(&str, u64)] = if smoke {
+        &[("bitw_64MiB", 64 << 20)]
+    } else {
+        &[("bitw_64MiB", 64 << 20), ("bitw_1GiB", 1 << 30)]
+    };
+    for &(name, total) in sizes {
+        let mut g = c.benchmark_group(format!("par_scaling/{name}"));
+        g.sample_size(if total > 64 << 20 { 5 } else { 10 });
+        g.bench_function("seq", |b| {
+            let cfg = config(total, None);
+            b.iter(|| black_box(simulate(&pipeline, &cfg)))
+        });
+        for workers in [1usize, 2, 4, 8] {
+            g.bench_with_input(BenchmarkId::new("par", workers), &workers, |b, &w| {
+                let cfg = config(total, Some(w));
+                b.iter(|| black_box(simulate(&pipeline, &cfg)))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_par_scaling);
+criterion_main!(benches);

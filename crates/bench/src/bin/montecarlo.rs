@@ -214,7 +214,10 @@ fn replicate(seeds: u64, scale_rows: bool) -> (String, Vec<Summary>) {
 }
 
 fn main() {
-    let (out, all) = replicate(SEEDS, true);
+    // NC_THREADS pins the replication fan-out width; `replicate` is a
+    // pure function of the seed count, so the artifacts are
+    // byte-identical for every worker count.
+    let (out, all) = nc_bench::with_nc_threads(|| replicate(SEEDS, true));
     nc_bench::emit("montecarlo.txt", &out);
     nc_bench::emit_json("montecarlo.json", &all);
 }

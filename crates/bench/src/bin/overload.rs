@@ -58,6 +58,7 @@ fn main() {
             trace: false,
             fast_forward: true,
             faults: None,
+            workers: None,
         }),
     };
     let surface = nc_sweep::run(&spec);
@@ -106,6 +107,7 @@ fn main() {
             trace: false,
             fast_forward: true,
             faults: None,
+            workers: None,
         }),
     };
     let det_surface = nc_sweep::run(&det_spec);

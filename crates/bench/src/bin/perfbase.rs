@@ -6,11 +6,18 @@
 //! the simulation scaling layer (thinned event path vs the frozen
 //! reference engine; deterministic cycle-jump on vs off), the scale
 //! simulation rows (64 MiB / 1 GiB stochastic, 16 GiB deterministic),
-//! and the batch sweep engine (cached + parallel vs serial uncached,
-//! with result-equality asserted and cache-hit counts recorded), then
-//! writes the whole snapshot to `BENCH_3.json` at the workspace root —
-//! next to the earlier PRs' `BENCH_1.json`/`BENCH_2.json` — so perf
-//! regressions show up in review diffs.
+//! the batch sweep engine (cached + parallel vs serial uncached,
+//! with result-equality asserted and cache-hit counts recorded), and
+//! the stage-parallel PDES engine (DESIGN.md §12) across worker counts
+//! against the sequential thinned engine, then writes the whole
+//! snapshot to `BENCH_4.json` at the workspace root — next to the
+//! earlier PRs' `BENCH_1.json`–`BENCH_3.json` — so perf regressions
+//! show up in review diffs.
+//!
+//! The snapshot records `host_cpus`: parallel-engine rows are only
+//! meaningful relative to the cores available when they were taken (on
+//! a single-vCPU host every worker count serializes and the scaling
+//! rows measure synchronization overhead, not speedup).
 //!
 //! Run with `cargo run --release -p nc-bench --bin perfbase`. Set
 //! `PERFBASE_OUT=/path/to.json` to redirect the snapshot (used by
@@ -67,13 +74,28 @@ struct SweepBench {
 }
 
 #[derive(Serialize)]
+struct ParScalingRow {
+    what: String,
+    /// `0` encodes the sequential thinned engine (`workers: None`).
+    workers: usize,
+    per_run_s: f64,
+    /// Sequential wall time over this row's (>1 = faster than the
+    /// sequential engine).
+    speedup_vs_seq: f64,
+}
+
+#[derive(Serialize)]
 struct Baseline {
     schema: &'static str,
     command: &'static str,
+    /// Cores available when the snapshot was taken — the context the
+    /// `par_scaling` rows must be read in.
+    host_cpus: usize,
     bins: Vec<BinTime>,
     sims: Vec<SimTime>,
     ablations: Vec<Ablation>,
     sweeps: Vec<SweepBench>,
+    par_scaling: Vec<ParScalingRow>,
 }
 
 fn lb(r: i64, b: i64) -> Curve {
@@ -432,13 +454,59 @@ fn main() {
     );
     let sweeps = vec![sweep];
 
+    // Stage-parallel PDES engine (DESIGN.md §12) vs the sequential
+    // thinned engine, on the event-bound BITW workloads. The parallel
+    // engine is bit-identical across worker counts (prop_par tests),
+    // so every row computes the same result; wall time is the only
+    // variable. Interleaved round-robin passes, best of each.
+    println!("perf baseline: stage-parallel engine scaling (host_cpus noted in snapshot)");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut par_scaling = Vec::new();
+    for (label, total) in [("BITW 64 MiB", 64u64 << 20), ("BITW 1 GiB", 1 << 30)] {
+        let mut cfg_par = cfg_thin.clone();
+        cfg_par.total_input = total;
+        let worker_axis = [None, Some(1), Some(2), Some(4)];
+        let mut best = [f64::INFINITY; 4];
+        for _ in 0..3 {
+            for (slot, w) in worker_axis.iter().enumerate() {
+                cfg_par.workers = *w;
+                let t = Instant::now();
+                std::hint::black_box(simulate(&pw, &cfg_par));
+                best[slot] = best[slot].min(t.elapsed().as_secs_f64());
+            }
+        }
+        let seq_s = best[0];
+        for (slot, w) in worker_axis.iter().enumerate() {
+            let row = ParScalingRow {
+                what: format!("streamsim par {label}"),
+                workers: w.unwrap_or(0),
+                per_run_s: best[slot],
+                speedup_vs_seq: seq_s / best[slot].max(f64::MIN_POSITIVE),
+            };
+            println!(
+                "  {:<28} workers {:>3} {:>12.3e}s  vs seq {:>5.2}x",
+                row.what,
+                if row.workers == 0 {
+                    "seq".into()
+                } else {
+                    row.workers.to_string()
+                },
+                row.per_run_s,
+                row.speedup_vs_seq
+            );
+            par_scaling.push(row);
+        }
+    }
+
     let baseline = Baseline {
-        schema: "nc-perfbase-v3",
+        schema: "nc-perfbase-v4",
         command: "cargo run --release -p nc-bench --bin perfbase",
+        host_cpus,
         bins,
         sims,
         ablations,
         sweeps,
+        par_scaling,
     };
     let root = nc_bench::results_dir()
         .parent()
@@ -446,7 +514,7 @@ fn main() {
         .to_path_buf();
     let path = match std::env::var_os("PERFBASE_OUT") {
         Some(p) => std::path::PathBuf::from(p),
-        None => root.join("BENCH_3.json"),
+        None => root.join("BENCH_4.json"),
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));

@@ -88,6 +88,39 @@ pub fn bitw_sweep_spec(nx: usize, ny: usize) -> nc_sweep::SweepSpec {
     }
 }
 
+/// The `NC_THREADS` worker-count override, if set and valid.
+///
+/// One knob routes every data-parallel harness path (the Monte-Carlo
+/// replication and the sweep fan-out): unset means the ambient rayon
+/// pool (one worker per core), `NC_THREADS=n` pins the pool to `n`
+/// workers. All artifact emitters are order-preserving reductions, so
+/// the outputs are byte-identical for every value of the knob — the
+/// `check.sh` smoke lane asserts this on the sweep CSV.
+pub fn nc_threads() -> Option<usize> {
+    let s = std::env::var("NC_THREADS").ok()?;
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("NC_THREADS must be a positive integer; using the ambient pool");
+            None
+        }
+    }
+}
+
+/// Run `f` under the [`nc_threads`] worker-count policy: inside a
+/// dedicated rayon pool of `NC_THREADS` workers when the knob is set,
+/// on the ambient pool otherwise.
+pub fn with_nc_threads<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    match nc_threads() {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("build NC_THREADS rayon pool")
+            .install(f),
+        None => f(),
+    }
+}
+
 /// Format the bounds comparison section shared by `table1`/`table3`.
 pub fn format_bounds(app: &str, b: &nc_apps::BoundsReport) -> String {
     use nc_core::num::Rat;

@@ -33,6 +33,7 @@
 
 pub mod agenda;
 pub mod engine;
+pub mod link;
 pub mod queue;
 pub mod random;
 pub mod resource;
@@ -41,6 +42,7 @@ pub mod time;
 
 pub use agenda::SlotAgenda;
 pub use engine::{Event, Sim, SimPool};
+pub use link::{link, LinkRx, LinkTx, ProgressGate};
 pub use queue::ByteQueue;
 pub use random::Dist;
 pub use resource::Resource;

@@ -1,0 +1,370 @@
+//! SPSC message links with watermark promises, for conservatively
+//! synchronized parallel simulation (PDES).
+//!
+//! A [`link`] connects exactly one producer logical process (LP) to one
+//! consumer LP. Besides timestamped messages, the producer publishes a
+//! monotone **watermark**: a promise that every message it will ever
+//! send in the future carries a timestamp `>=` the watermark. This is
+//! the lower-bound-timestamp half of a classic null-message protocol
+//! (Chandy–Misra–Bryant): the consumer may safely simulate up to the
+//! minimum of its input watermarks, because no earlier event can still
+//! arrive. How far a producer can push its watermark *past* its last
+//! sent message is its **lookahead** — in `nc-streamsim` that window is
+//! derived from the network-calculus service model (see
+//! `Pipeline::stage_lookaheads` in `nc-core`).
+//!
+//! Design points:
+//!
+//! * **Batched handoff.** The producer accumulates messages in a local
+//!   buffer and publishes them (plus the current watermark) under one
+//!   mutex acquisition per [`LinkTx::flush`], so per-message cost stays
+//!   lock-free. Producers must flush before blocking — an unpublished
+//!   watermark can deadlock the consumer.
+//! * **Soft capacity.** `capacity` bounds *wall-clock memory*, not
+//!   simulation semantics: [`LinkTx::backlogged`] reports when the
+//!   consumer has fallen behind, and the driving loop parks the
+//!   producer until the consumer drains. A full link never drops or
+//!   blocks inside `send`, so producers can always publish watermarks.
+//! * **Progress gate.** All parties share one [`ProgressGate`] — a
+//!   generation counter + condvar. Any publication (flush, close,
+//!   consumer drain) bumps the generation; a blocked LP re-polls its
+//!   inputs and waits for the generation to move past the value it saw
+//!   before polling, which closes the classic poll/sleep race.
+//!
+//! Determinism: message *content and order* on a link are produced by a
+//! single LP, and consumers take scheduling decisions only of the form
+//! "may I process up to time `t` yet" — monotone questions whose answer
+//! timing cannot change what is computed. Results are therefore
+//! independent of thread count and interleaving by construction.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Messages buffered by the producer before one mutex-protected
+/// publication.
+const BATCH: usize = 256;
+
+/// A shared generation counter + condvar: the "something changed
+/// somewhere" signal for a set of LPs connected by links.
+#[derive(Debug, Default)]
+pub struct ProgressGate {
+    generation: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl ProgressGate {
+    /// A fresh gate at generation 0.
+    pub fn new() -> Arc<ProgressGate> {
+        Arc::new(ProgressGate::default())
+    }
+
+    /// The current generation. Read this *before* polling inputs; pass
+    /// it to [`ProgressGate::wait_past`] if the poll found nothing.
+    pub fn generation(&self) -> u64 {
+        *self.generation.lock().expect("gate poisoned")
+    }
+
+    /// Announce progress: bump the generation and wake every waiter.
+    pub fn bump(&self) {
+        let mut g = self.generation.lock().expect("gate poisoned");
+        *g = g.wrapping_add(1);
+        self.cond.notify_all();
+    }
+
+    /// Block until the generation differs from `seen`. Returns
+    /// immediately if progress already happened since `seen` was read —
+    /// publications between the caller's poll and this wait are never
+    /// missed.
+    pub fn wait_past(&self, seen: u64) {
+        let mut g = self.generation.lock().expect("gate poisoned");
+        while *g == seen {
+            g = self.cond.wait(g).expect("gate poisoned");
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    queue: VecDeque<T>,
+    /// Promise: every future message has timestamp `>= watermark`.
+    watermark: f64,
+    closed: bool,
+}
+
+/// Producer half of a link.
+#[derive(Debug)]
+pub struct LinkTx<T> {
+    shared: Arc<Mutex<Shared<T>>>,
+    gate: Arc<ProgressGate>,
+    buf: Vec<T>,
+    watermark: f64,
+    published_watermark: f64,
+    capacity: usize,
+    closed: bool,
+}
+
+/// Consumer half of a link.
+#[derive(Debug)]
+pub struct LinkRx<T> {
+    shared: Arc<Mutex<Shared<T>>>,
+    gate: Arc<ProgressGate>,
+    /// Drained messages, consumed without locking.
+    local: VecDeque<T>,
+    watermark: f64,
+    closed: bool,
+}
+
+/// Create a producer/consumer pair sharing `gate`. `capacity` is the
+/// soft in-flight message bound reported by [`LinkTx::backlogged`].
+pub fn link<T>(capacity: usize, gate: &Arc<ProgressGate>) -> (LinkTx<T>, LinkRx<T>) {
+    assert!(capacity > 0, "link capacity must be positive");
+    let shared = Arc::new(Mutex::new(Shared {
+        queue: VecDeque::new(),
+        watermark: 0.0,
+        closed: false,
+    }));
+    (
+        LinkTx {
+            shared: Arc::clone(&shared),
+            gate: Arc::clone(gate),
+            buf: Vec::with_capacity(BATCH),
+            watermark: 0.0,
+            published_watermark: 0.0,
+            capacity,
+            closed: false,
+        },
+        LinkRx {
+            shared,
+            gate: Arc::clone(gate),
+            local: VecDeque::new(),
+            watermark: 0.0,
+            closed: false,
+        },
+    )
+}
+
+impl<T> LinkTx<T> {
+    /// Enqueue one message (auto-publishing a full batch). Never blocks.
+    pub fn send(&mut self, msg: T) {
+        debug_assert!(!self.closed, "send on a closed link");
+        self.buf.push(msg);
+        if self.buf.len() >= BATCH {
+            self.flush();
+        }
+    }
+
+    /// Raise the watermark promise to `w` (monotone: lower values are
+    /// ignored — an older sound bound stays sound). Published on the
+    /// next [`LinkTx::flush`].
+    pub fn set_watermark(&mut self, w: f64) {
+        if w > self.watermark {
+            self.watermark = w;
+        }
+    }
+
+    /// The current (possibly unpublished) watermark.
+    pub fn watermark(&self) -> f64 {
+        self.watermark
+    }
+
+    /// Publish buffered messages and the current watermark, announcing
+    /// progress if anything new became visible.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() && self.watermark == self.published_watermark {
+            return;
+        }
+        {
+            let mut s = self.shared.lock().expect("link poisoned");
+            s.queue.extend(self.buf.drain(..));
+            s.watermark = self.watermark;
+        }
+        self.published_watermark = self.watermark;
+        self.gate.bump();
+    }
+
+    /// `true` when in-flight messages exceed the soft capacity; the
+    /// producer should flush and park until the consumer drains.
+    pub fn backlogged(&self) -> bool {
+        if self.buf.len() >= self.capacity {
+            return true;
+        }
+        let s = self.shared.lock().expect("link poisoned");
+        s.queue.len() + self.buf.len() >= self.capacity
+    }
+
+    /// Flush everything, promise no further messages (watermark `+∞`)
+    /// and mark the link closed. Idempotent.
+    pub fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        self.watermark = f64::INFINITY;
+        {
+            let mut s = self.shared.lock().expect("link poisoned");
+            s.queue.extend(self.buf.drain(..));
+            s.watermark = f64::INFINITY;
+            s.closed = true;
+        }
+        self.published_watermark = f64::INFINITY;
+        self.gate.bump();
+    }
+}
+
+impl<T> LinkRx<T> {
+    /// Drain newly published messages into the local buffer and refresh
+    /// the cached watermark/closed state. Returns `true` if any message
+    /// was taken (which also wakes a producer parked on backlog).
+    pub fn poll(&mut self) -> bool {
+        let took = {
+            let mut s = self.shared.lock().expect("link poisoned");
+            let took = !s.queue.is_empty();
+            if took {
+                self.local.extend(s.queue.drain(..));
+            }
+            self.watermark = s.watermark;
+            self.closed = s.closed;
+            took
+        };
+        if took {
+            // A backlogged producer may be parked on the gate.
+            self.gate.bump();
+        }
+        took
+    }
+
+    /// The next undelivered message, if any (after the last `poll`).
+    pub fn front(&self) -> Option<&T> {
+        self.local.front()
+    }
+
+    /// Remove and return the next message.
+    pub fn pop(&mut self) -> Option<T> {
+        self.local.pop_front()
+    }
+
+    /// Iterate the locally buffered (not yet consumed) messages.
+    pub fn buffered(&self) -> impl Iterator<Item = &T> {
+        self.local.iter()
+    }
+
+    /// The frontier below which no *new* message can appear: the cached
+    /// producer watermark (`+∞` once closed). Messages already in the
+    /// local buffer may of course carry earlier timestamps.
+    pub fn watermark(&self) -> f64 {
+        self.watermark
+    }
+
+    /// `true` once the producer closed the link and every message has
+    /// been drained out of the shared queue (local buffer may still
+    /// hold messages).
+    pub fn closed(&self) -> bool {
+        self.closed
+    }
+
+    /// `true` when no message is buffered and none can ever arrive.
+    pub fn exhausted(&self) -> bool {
+        self.closed && self.local.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_arrive_in_order_after_flush() {
+        let gate = ProgressGate::new();
+        let (mut tx, mut rx) = link::<u32>(1024, &gate);
+        tx.send(1);
+        tx.send(2);
+        assert!(!rx.poll(), "nothing visible before flush");
+        tx.flush();
+        assert!(rx.poll());
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn watermark_is_monotone_and_published_on_flush() {
+        let gate = ProgressGate::new();
+        let (mut tx, mut rx) = link::<u32>(1024, &gate);
+        tx.set_watermark(5.0);
+        tx.set_watermark(3.0); // lower: ignored
+        assert_eq!(tx.watermark(), 5.0);
+        rx.poll();
+        assert_eq!(rx.watermark(), 0.0, "unpublished until flush");
+        tx.flush();
+        rx.poll();
+        assert_eq!(rx.watermark(), 5.0);
+    }
+
+    #[test]
+    fn close_is_an_infinite_watermark() {
+        let gate = ProgressGate::new();
+        let (mut tx, mut rx) = link::<u32>(1024, &gate);
+        tx.send(7);
+        tx.close();
+        rx.poll();
+        assert!(rx.closed());
+        assert_eq!(rx.watermark(), f64::INFINITY);
+        assert!(!rx.exhausted(), "one message still buffered");
+        assert_eq!(rx.pop(), Some(7));
+        assert!(rx.exhausted());
+        tx.close(); // idempotent
+    }
+
+    #[test]
+    fn backlog_reflects_unconsumed_depth() {
+        let gate = ProgressGate::new();
+        let (mut tx, mut rx) = link::<u32>(4, &gate);
+        for i in 0..4 {
+            tx.send(i);
+        }
+        tx.flush();
+        assert!(tx.backlogged());
+        rx.poll(); // consumer drains the shared queue
+        assert!(!tx.backlogged());
+    }
+
+    #[test]
+    fn gate_wait_past_never_misses_a_bump() {
+        let gate = ProgressGate::new();
+        let seen = gate.generation();
+        gate.bump();
+        // Progress happened after `seen` was read: wait returns at once.
+        gate.wait_past(seen);
+        assert_ne!(gate.generation(), seen);
+    }
+
+    #[test]
+    fn threaded_producer_consumer_round_trip() {
+        let gate = ProgressGate::new();
+        let (mut tx, mut rx) = link::<u64>(1 << 12, &gate);
+        const N: u64 = 10_000;
+        let g2 = Arc::clone(&gate);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.send(i);
+            }
+            tx.close();
+            drop(g2);
+        });
+        let mut got = Vec::new();
+        loop {
+            let seen = gate.generation();
+            rx.poll();
+            while let Some(x) = rx.pop() {
+                got.push(x);
+            }
+            if rx.exhausted() {
+                break;
+            }
+            gate.wait_past(seen);
+        }
+        producer.join().expect("producer");
+        assert_eq!(got.len() as u64, N);
+        assert!(got.iter().copied().eq(0..N));
+    }
+}

@@ -58,6 +58,18 @@ pub struct SimConfig {
     /// pipeline at simulation setup.
     #[serde(default)]
     pub faults: Option<FaultSchedule>,
+    /// Run the stochastic engines stage-parallel with this many worker
+    /// threads (conservative PDES with NC-derived lookahead; see
+    /// `DESIGN.md` §12). `None` (the default) keeps the sequential
+    /// thinned engine — existing configurations are untouched. The
+    /// parallel engine draws per-stage RNG streams keyed by
+    /// `(seed, stage)`, so its sample paths differ from the sequential
+    /// engine's, but results are bit-identical for every worker count
+    /// (`workers = Some(1)` ≡ `workers = Some(n)`). Bounded-queue
+    /// configurations and `ServiceModel::Deterministic` fall back to
+    /// the sequential engines.
+    #[serde(default)]
+    pub workers: Option<usize>,
 }
 
 fn default_fast_forward() -> bool {
@@ -89,6 +101,7 @@ impl Default for SimConfig {
             service_model: ServiceModel::Uniform,
             fast_forward: true,
             faults: None,
+            workers: None,
         }
     }
 }

@@ -826,6 +826,7 @@ mod tests {
             trace: false,
             fast_forward: ff,
             faults: None,
+            workers: None,
         }
     }
 

@@ -165,6 +165,15 @@ pub fn simulate_in(arena: &mut SimArena, pipeline: &Pipeline, config: &SimConfig
         // periodic steady states (see `crate::det`).
         return crate::det::simulate_det(pipeline, config);
     }
+    if let Some(w) = config.workers {
+        if crate::par::supported(config) {
+            // Stage-parallel conservative PDES (DESIGN.md §12):
+            // bit-identical across worker counts, different sample
+            // paths than this engine (per-stage RNG streams). Bounded
+            // queues fall through to the sequential path below.
+            return crate::par::simulate_par(pipeline, config, w);
+        }
+    }
     pipeline
         .validate()
         .unwrap_or_else(|e| panic!("simulate: invalid pipeline: {e}"));
@@ -647,6 +656,7 @@ mod tests {
             trace: true,
             fast_forward: true,
             faults: None,
+            workers: None,
         }
     }
 

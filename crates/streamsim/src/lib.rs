@@ -42,6 +42,7 @@ mod config;
 mod det;
 mod engine;
 mod faults;
+mod par;
 mod reference;
 mod result;
 mod ring;

@@ -111,6 +111,7 @@ proptest! {
             trace: true,
             fast_forward: true,
             faults: None,
+            workers: None,
         };
         let r = simulate(&p, &cfg);
 

@@ -302,6 +302,7 @@ fn cfg(
         service_model: model,
         fast_forward: ff,
         faults,
+        workers: None,
     }
 }
 
@@ -332,6 +333,7 @@ proptest! {
             trace: true,
             fast_forward: true,
             faults: Some(schedule),
+            workers: None,
         };
         let r = simulate(&p, &cfg);
 

@@ -54,6 +54,7 @@ fn main() {
                 trace: false,
                 fast_forward: true,
                 faults: None,
+                workers: None,
             },
         );
         println!(

@@ -14,12 +14,20 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "==> criterion smoke: curve_ops + des_calendar in test mode"
+echo "==> criterion smoke: curve_ops + des_calendar + par_scaling in test mode"
 cargo bench -p nc-bench --bench curve_ops -- --test
 cargo bench -p nc-bench --bench des_calendar -- --test
+PAR_SCALING_SMOKE=1 cargo bench -p nc-bench --bench par_scaling -- --test
 
 echo "==> sweep smoke: 4x4 grid through the batch engine"
 SWEEP_GRID=4x4 cargo run --release -q -p nc-bench --bin sweep
+
+echo "==> NC_THREADS determinism: sweep CSV byte-identical at 1 worker"
+cp results/sweep_bitw.csv /tmp/sweep_ambient.csv
+SWEEP_GRID=4x4 NC_THREADS=1 cargo run --release -q -p nc-bench --bin sweep > /dev/null
+cmp results/sweep_bitw.csv /tmp/sweep_ambient.csv \
+  || { echo "FAIL: sweep CSV differs between NC_THREADS=1 and the ambient pool" >&2; exit 1; }
+rm -f /tmp/sweep_ambient.csv
 
 echo "==> faults gate: degraded bounds contain every faulted run"
 cargo run --release -q -p nc-bench --bin faults > /dev/null
@@ -41,7 +49,7 @@ if [ "${CHECK_NIGHTLY:-0}" != "0" ]; then
   cargo test -q -- --include-ignored
 fi
 
-echo "==> perf gate (warn-only)"
+echo "==> perf gate (warn-only; PERFGATE_STRICT=1 to hard-fail)"
 scripts/perfgate.sh
 
 echo "==> all checks passed"

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Perf regression gate (warn-only): re-run the perfbase snapshot into a
-# temp file and flag any repro binary or simulation row that is >25%
-# slower than the newest committed BENCH_*.json baseline. Never fails
-# the build — wall-clock noise on shared machines makes a hard gate
-# flakier than it is useful; the warning is the review signal.
+# Perf regression gate: re-run the perfbase snapshot into a temp file
+# and flag any repro binary or simulation row that is >25% slower than
+# the newest committed BENCH_*.json baseline.
+#
+# Default mode is warn-only — wall-clock noise on shared machines makes
+# a hard gate flakier than it is useful, so the warning is the review
+# signal. Set PERFGATE_STRICT=1 to make a >25% regression (or a failed
+# perfbase run) fail the gate with a non-zero exit, for environments
+# quiet enough to trust the numbers.
 set -uo pipefail
 cd "$(dirname "$0")/.."
+
+strict="${PERFGATE_STRICT:-0}"
 
 base=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1)
 if [[ -z "${base}" ]]; then
@@ -31,16 +37,21 @@ restore() {
     rm -f "$out"
 }
 trap restore EXIT
-echo "perfgate: re-running perfbase (baseline: ${base})"
+echo "perfgate: re-running perfbase (baseline: ${base}, strict=${strict})"
 if ! PERFBASE_OUT="$out" cargo run --release -q -p nc-bench --bin perfbase >/dev/null; then
+    if [[ "$strict" != "0" ]]; then
+        echo "perfgate: FAIL — perfbase run failed (strict mode)"
+        exit 1
+    fi
     echo "perfgate: perfbase run failed — skipping comparison (warn-only)"
     exit 0
 fi
 
-python3 - "$base" "$out" <<'PY'
-import json, sys
+PERFGATE_STRICT="$strict" python3 - "$base" "$out" <<'PY'
+import json, os, sys
 
 base_path, cur_path = sys.argv[1], sys.argv[2]
+strict = os.environ.get("PERFGATE_STRICT", "0") != "0"
 with open(base_path) as f:
     base = json.load(f)
 with open(cur_path) as f:
@@ -59,10 +70,16 @@ shared = sorted(old.keys() & new.keys())
 slow = [(k, old[k], new[k]) for k in shared if new[k] > old[k] * 1.25]
 
 if slow:
-    print(f"perfgate: WARNING — {len(slow)} row(s) >25% slower than {base_path}:")
+    word = "FAIL" if strict else "WARNING"
+    print(f"perfgate: {word} — {len(slow)} row(s) >25% slower than {base_path}:")
     for (kind, name), was, now in slow:
         print(f"  {kind:<4} {name:<44} {was:.3e}s -> {now:.3e}s ({now / was:.2f}x)")
+    sys.exit(1 if strict else 0)
 else:
     print(f"perfgate: ok — {len(shared)} rows compared against {base_path}, none >25% slower")
 PY
+status=$?
+if [[ "$strict" != "0" && $status -ne 0 ]]; then
+    exit "$status"
+fi
 exit 0

@@ -62,6 +62,7 @@ fn all_three_models_agree_on_the_bottleneck() {
             trace: false,
             fast_forward: true,
             faults: None,
+            workers: None,
         },
     );
     assert!(
@@ -138,6 +139,7 @@ fn des_validates_nc_delay_on_deterministic_stage() {
             trace: false,
             fast_forward: true,
             faults: None,
+            workers: None,
         },
     );
     let bound = m.delay_bound_concat().to_f64();
@@ -274,6 +276,7 @@ fn three_model_grid_containment() {
                 trace: false,
                 fast_forward: true,
                 faults: None,
+                workers: None,
             },
         );
         assert_three_way_containment(&format!("point {point}"), &m, &sim);
