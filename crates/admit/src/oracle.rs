@@ -1,0 +1,188 @@
+//! From-scratch reference decisions through the general curve algebra.
+//!
+//! [`decide_full`] answers one admission question with **no** engine
+//! state and **no** scalar shortcuts: it rebuilds the pipeline model
+//! ([`Pipeline::build_model`], uncached `DirectOps`), re-derives every
+//! arrival curve by actual min-plus deconvolution, folds service
+//! concatenations with the general `⊗`, and evaluates each bound as a
+//! horizontal/vertical deviation between piecewise-linear curves. The
+//! procedure (checks, their order, the reported bound) mirrors
+//! [`AdmissionEngine::decide`](crate::AdmissionEngine::decide) step for
+//! step, so the property suite can assert decision-and-bound equality
+//! against the incremental engine — and the `perfbase` throughput row
+//! uses it as the cold-start full-recompute ablation baseline.
+
+use nc_core::bounds;
+use nc_core::curve::shapes;
+use nc_core::num::Rat;
+use nc_core::ops::{min_plus_conv, min_plus_deconv};
+use nc_core::pipeline::Pipeline;
+
+use crate::{ClassId, FlowClass, RejectReason};
+
+/// Decide one candidate flow against a pipeline by full recomputation.
+///
+/// `resident` lists the already-admitted flows on this path as
+/// `(attach stage, class)` pairs; `candidate` asks to attach at stage
+/// `attach`. Returns the certified delay bound (seconds, from the
+/// attachment stage to the sink) or the first failing check.
+///
+/// # Panics
+/// Panics on invalid pipelines, out-of-range stages/classes, or a
+/// budget below the zero-load backlog — the configuration errors the
+/// engine reports as [`AdmitError`](crate::AdmitError) before ever
+/// reaching its decision path.
+pub fn decide_full(
+    pipeline: &Pipeline,
+    budget: Option<Rat>,
+    classes: &[FlowClass],
+    resident: &[(usize, ClassId)],
+    candidate: &FlowClass,
+    attach: usize,
+) -> Result<Rat, RejectReason> {
+    let model = pipeline.build_model();
+    let n = model.per_node.len();
+    assert!(attach < n, "attachment stage out of range");
+
+    // Aggregate attachment envelopes per stage, candidate included.
+    let mut at_rate = vec![Rat::ZERO; n];
+    let mut at_burst = vec![Rat::ZERO; n];
+    let mut slo_min: Vec<Option<Rat>> = vec![None; n];
+    for &(a, class) in resident {
+        let c = &classes[class.0];
+        at_rate[a] += c.rate;
+        at_burst[a] += c.burst;
+        slo_min[a] = Some(slo_min[a].map_or(c.deadline, |s| s.min(c.deadline)));
+    }
+    let limit_at = |k: usize| {
+        if k == attach {
+            Some(slo_min[k].map_or(candidate.deadline, |s| s.min(candidate.deadline)))
+        } else {
+            slo_min[k]
+        }
+    };
+    at_rate[attach] += candidate.rate;
+    at_burst[attach] += candidate.burst;
+
+    // 1. Placement pre-filter: rate caps from the suffix service
+    // concatenations, folded with the general ⊗.
+    if let Some(bud) = budget {
+        let mut suffix = model.per_node[n - 1].service.clone();
+        let mut caps = vec![Rat::ZERO; n];
+        for k in (0..n).rev() {
+            if k < n - 1 {
+                suffix = min_plus_conv(&model.per_node[k].service, &suffix);
+            }
+            caps[k] = bounds::max_admissible_rate(&suffix, Rat::ZERO, bud)
+                .expect("zero burst fits any budget");
+        }
+        caps[0] = caps[0].min(
+            model
+                .max_admissible_rate(bud)
+                .expect("budget below the zero-load backlog bound"),
+        );
+        let mut cum_rate = Rat::ZERO;
+        for k in 0..n {
+            // Committed rate entering stage k (candidate excluded; its
+            // rate is the increment under test).
+            cum_rate += at_rate[k];
+            if k == attach {
+                cum_rate -= candidate.rate;
+            }
+            if k >= attach && cum_rate + candidate.rate > caps[k] {
+                return Err(RejectReason::PlacementCap);
+            }
+        }
+    }
+
+    // 2. Per-stage pass: arrival curves by cascaded deconvolution,
+    // rate feasibility, backlog budget, delay bounds.
+    let mut arrivals = Vec::with_capacity(n);
+    let mut delays = vec![Rat::ZERO; n];
+    let mut alpha = shapes::leaky_bucket(at_rate[0], pipeline.source.burst + at_burst[0]);
+    for j in 0..n {
+        let beta = &model.per_node[j].service;
+        if j > 0 {
+            alpha = min_plus_deconv(&arrivals[j - 1], &model.per_node[j - 1].service);
+            if at_rate[j].is_positive() || at_burst[j].is_positive() {
+                alpha = alpha.add(&shapes::leaky_bucket(at_rate[j], at_burst[j]));
+            }
+        }
+        if j >= attach {
+            let (srv_rate, _) = beta
+                .as_rate_latency()
+                .expect("pipeline services are rate-latency");
+            let arr_rate = alpha
+                .ultimate_slope()
+                .as_finite()
+                .expect("leaky-bucket arrivals have finite rate");
+            if arr_rate > srv_rate {
+                return Err(RejectReason::RateInfeasible);
+            }
+            if let Some(bud) = budget {
+                if bounds::backlog_bound(&alpha, beta)
+                    .as_finite()
+                    .is_none_or(|x| x > bud)
+                {
+                    return Err(RejectReason::BudgetExceeded);
+                }
+            }
+        }
+        delays[j] = bounds::delay_bound(&alpha, beta)
+            .as_finite()
+            .expect("delay bound finite after the rate check");
+        arrivals.push(alpha.clone());
+    }
+
+    // 3. Cheap deadline bound: suffix sums of per-stage delay bounds.
+    let mut cheap = vec![Rat::ZERO; n];
+    let mut acc = Rat::ZERO;
+    for j in (0..n).rev() {
+        acc += delays[j];
+        cheap[j] = acc;
+    }
+
+    // Tight bound from stage k: segments split at stages with nonzero
+    // attached burst (candidate included in `at_burst`), each folded
+    // with the general ⊗ and evaluated as a horizontal deviation
+    // against its entry arrival curve.
+    let tight = |k: usize| -> Rat {
+        let mut total = Rat::ZERO;
+        let mut seg_start = k;
+        let mut beta_seg = model.per_node[k].service.clone();
+        #[allow(clippy::needless_range_loop)] // j indexes three arrays and the n boundary
+        for j in k + 1..=n {
+            if j == n || at_burst[j].is_positive() {
+                total += bounds::delay_bound(&arrivals[seg_start], &beta_seg)
+                    .as_finite()
+                    .expect("segment delay finite after the rate check");
+                if j < n {
+                    seg_start = j;
+                    beta_seg = model.per_node[j].service.clone();
+                }
+            } else {
+                beta_seg = min_plus_conv(&beta_seg, &model.per_node[j].service);
+            }
+        }
+        total
+    };
+
+    // 4. Deadline checks for the candidate and every protected stage,
+    // cheap first, tight as the fallback.
+    for (k, sum) in cheap.iter().enumerate() {
+        let Some(limit) = limit_at(k) else { continue };
+        if *sum <= limit {
+            continue;
+        }
+        if tight(k) > limit {
+            return Err(RejectReason::DeadlineExceeded);
+        }
+    }
+
+    let limit_a = limit_at(attach).expect("candidate stage always has a limit");
+    Ok(if cheap[attach] <= limit_a {
+        cheap[attach]
+    } else {
+        tight(attach)
+    })
+}

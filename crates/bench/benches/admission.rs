@@ -1,0 +1,74 @@
+//! Admission-engine throughput (ISSUE 6 tentpole): the steady-state
+//! incremental decision path vs the cold-start full recomputation.
+//!
+//! * `decide_depart_pair` — one admit + one depart on a warm engine
+//!   (the allocation-free scalar lane; the ≥10⁵ decisions/s target
+//!   means ≤10 µs for the *pair*).
+//! * `replay_1_tenant` — a full generated trace (arrivals, weighted
+//!   class mix, departures) through one tenant, bookkeeping included.
+//! * `oracle_full_recompute` — the same question answered from
+//!   scratch through `Pipeline::build_model` and the general curve
+//!   algebra: the ablation baseline the incremental engine is measured
+//!   against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nc_admit::oracle;
+use nc_bench::admitload;
+
+fn bench_admission(c: &mut Criterion) {
+    let mut g = c.benchmark_group("admission");
+
+    // Warm steady-state decision path: admit + depart, net-zero load.
+    let cfg = admitload::request_config(42, 1, 200);
+    let mut shard = admitload::build_shard(&cfg, &[0]);
+    let tid = shard.tenants[0].1;
+    let class = shard.classes[0];
+    g.bench_function("decide_depart_pair", |b| {
+        b.iter(|| {
+            let d = shard.engine.decide(tid, class, 0).expect("in range");
+            if let Some(p) = d.placement() {
+                shard
+                    .engine
+                    .depart(tid, class, 0, p)
+                    .expect("resident flow");
+            }
+            black_box(d)
+        })
+    });
+
+    // Full request trace through one tenant (engine build excluded
+    // from the loop would hide onboarding wins; it is cheap and
+    // amortized over 400 requests).
+    let trace_cfg = admitload::request_config(7, 1, 200);
+    let trace = nc_workloads::requests::generate(&trace_cfg);
+    g.bench_function("replay_1_tenant_400_requests", |b| {
+        b.iter(|| black_box(admitload::replay_shard(&trace_cfg, &trace, &[0])))
+    });
+
+    // Cold-start ablation baseline: full model rebuild + general
+    // curve algebra per decision, against a mid-load resident set.
+    let classes = admitload::flow_classes(&cfg);
+    let pipeline = admitload::tenant_pipeline(0);
+    let budget = Some(admitload::tenant_budget(0));
+    let resident = vec![(0usize, shard.classes[1]), (2usize, shard.classes[0])];
+    g.bench_function("oracle_full_recompute", |b| {
+        b.iter(|| {
+            black_box(oracle::decide_full(
+                &pipeline,
+                budget,
+                &classes,
+                &resident,
+                &classes[0],
+                0,
+            ))
+            .ok()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

@@ -9,10 +9,14 @@
 //! the batch sweep engine (cached + parallel vs serial uncached,
 //! with result-equality asserted and cache-hit counts recorded), and
 //! the stage-parallel PDES engine (DESIGN.md §12) across worker counts
-//! against the sequential thinned engine, then writes the whole
-//! snapshot to `BENCH_4.json` at the workspace root — next to the
-//! earlier PRs' `BENCH_1.json`–`BENCH_3.json` — so perf regressions
-//! show up in review diffs.
+//! against the sequential thinned engine, the fleet-throughput row
+//! (10³ independent seeded tenant simulations sharing one pooled
+//! arena), and the admission-control engine (DESIGN.md §13 — the warm
+//! incremental decision path, a full trace replay, and the cold-start
+//! full-recompute ablation), then writes the whole snapshot to
+//! `BENCH_5.json` at the workspace root — next to the earlier PRs'
+//! `BENCH_1.json`–`BENCH_4.json` — so perf regressions show up in
+//! review diffs.
 //!
 //! The snapshot records `host_cpus`: parallel-engine rows are only
 //! meaningful relative to the cores available when they were taken (on
@@ -85,6 +89,15 @@ struct ParScalingRow {
 }
 
 #[derive(Serialize)]
+struct AdmissionRow {
+    what: String,
+    /// Decisions per measured unit (pair, trace, or single call).
+    decisions: u64,
+    per_decision_s: f64,
+    decisions_per_s: f64,
+}
+
+#[derive(Serialize)]
 struct Baseline {
     schema: &'static str,
     command: &'static str,
@@ -93,6 +106,7 @@ struct Baseline {
     host_cpus: usize,
     bins: Vec<BinTime>,
     sims: Vec<SimTime>,
+    admission: Vec<AdmissionRow>,
     ablations: Vec<Ablation>,
     sweeps: Vec<SweepBench>,
     par_scaling: Vec<ParScalingRow>,
@@ -192,6 +206,7 @@ fn main() {
         "montecarlo",
         "overload",
         "sweep",
+        "admit",
     ]
     .iter()
     .map(|b| run_bin(b))
@@ -408,6 +423,119 @@ fn main() {
         });
     }
 
+    // Fleet-throughput row: 10^3 independent seeded tenant pipelines
+    // batch-simulated back to back through one pooled arena (the
+    // admission fleet at simulation fidelity). Aggregate events/s is
+    // the tracked figure; the row lives in `sims` so the perf gate
+    // compares it like any other simulation row.
+    println!("perf baseline: fleet batch simulation (1000 tenants, pooled arena)");
+    let fleet_n: u64 = 1000;
+    let mut arena_fleet = SimArena::new();
+    let mut fleet_events = 0u64;
+    let run_fleet = |arena: &mut SimArena| {
+        let mut events = 0u64;
+        for tenant in 0..fleet_n {
+            let mut c = bitw::sim_config(tenant + 1);
+            c.trace = false;
+            c.total_input = 256 << 10;
+            events += simulate_in(arena, &pw, &c).events;
+        }
+        events
+    };
+    let mut fleet_best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        fleet_events = run_fleet(&mut arena_fleet);
+        fleet_best = fleet_best.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "  {:<40} {:>12.3e}s  ({} events, {:.3e} events/s)",
+        "streamsim fleet 1000 tenants x 256 KiB",
+        fleet_best,
+        fleet_events,
+        fleet_events as f64 / fleet_best
+    );
+    sims.push(SimTime {
+        what: "streamsim fleet 1000 tenants x 256 KiB (pooled)".into(),
+        events: fleet_events,
+        per_run_s: fleet_best,
+    });
+
+    // Admission engine (DESIGN.md §13): the warm incremental decision
+    // path (the tentpole's >=1e5 decisions/s/core target), a full
+    // 4-tenant trace replay with onboarding amortized in, and the
+    // cold-start oracle (full model rebuild + general curve algebra
+    // per decision) as the ablation baseline.
+    println!("perf baseline: admission engine (incremental vs cold start)");
+    use nc_bench::admitload;
+    let mut admission = Vec::new();
+    let adm_cfg = admitload::request_config(42, 1, 200);
+    let mut adm_shard = admitload::build_shard(&adm_cfg, &[0]);
+    let adm_tid = adm_shard.tenants[0].1;
+    let adm_class = adm_shard.classes[0];
+    let pair_s = per_iter(200_000, || {
+        let d = adm_shard
+            .engine
+            .decide(adm_tid, adm_class, 0)
+            .expect("in range");
+        if let Some(pl) = d.placement() {
+            adm_shard
+                .engine
+                .depart(adm_tid, adm_class, 0, pl)
+                .expect("resident flow");
+        }
+        std::hint::black_box(d);
+    });
+    let warm_per_decision = pair_s / 2.0;
+
+    let adm_trace_cfg = admitload::request_config(7, 4, 250);
+    let adm_trace = nc_workloads::requests::generate(&adm_trace_cfg);
+    let adm_tenants: Vec<usize> = (0..4).collect();
+    let (_, adm_stats) = admitload::replay_shard(&adm_trace_cfg, &adm_trace, &adm_tenants);
+    let replay_s = per_iter(30, || {
+        std::hint::black_box(admitload::replay_shard(
+            &adm_trace_cfg,
+            &adm_trace,
+            &adm_tenants,
+        ));
+    });
+    let replay_per_decision = replay_s / adm_stats.decisions as f64;
+
+    let oracle_s = admitload::oracle_per_decision_s(&adm_trace_cfg, 0, 200);
+
+    for (what, decisions, per_decision_s) in [
+        ("admit+depart pair, warm engine", 2u64, warm_per_decision),
+        (
+            "trace replay, 4 tenants x 250 arrivals (onboarding included)",
+            adm_stats.decisions,
+            replay_per_decision,
+        ),
+        ("cold-start full recompute (oracle)", 1, oracle_s),
+    ] {
+        let row = AdmissionRow {
+            what: what.into(),
+            decisions,
+            per_decision_s,
+            decisions_per_s: 1.0 / per_decision_s.max(f64::MIN_POSITIVE),
+        };
+        println!(
+            "  {:<58} {:>10.3e}s/decision  ({:.3e}/s)",
+            row.what, row.per_decision_s, row.decisions_per_s
+        );
+        admission.push(row);
+    }
+    let adm_ablation = Ablation {
+        what: "admission incremental vs full recompute".into(),
+        fast_s: warm_per_decision,
+        reference_s: oracle_s,
+        speedup: oracle_s / warm_per_decision.max(f64::MIN_POSITIVE),
+    };
+    println!(
+        "  {:<36} fast {:>12.3e}s  reference {:>12.3e}s  speedup {:>6.2}x",
+        adm_ablation.what, adm_ablation.fast_s, adm_ablation.reference_s, adm_ablation.speedup
+    );
+    ablations.push(adm_ablation);
+
     // Batch sweep engine: cached + parallel fan-out vs the status-quo
     // serial uncached loop, on the tracked 16x16 BITW workload (256
     // points x 10 horizons). Result equality is asserted before timing,
@@ -499,11 +627,12 @@ fn main() {
     }
 
     let baseline = Baseline {
-        schema: "nc-perfbase-v4",
+        schema: "nc-perfbase-v5",
         command: "cargo run --release -p nc-bench --bin perfbase",
         host_cpus,
         bins,
         sims,
+        admission,
         ablations,
         sweeps,
         par_scaling,
@@ -514,7 +643,7 @@ fn main() {
         .to_path_buf();
     let path = match std::env::var_os("PERFBASE_OUT") {
         Some(p) => std::path::PathBuf::from(p),
-        None => root.join("BENCH_4.json"),
+        None => root.join("BENCH_5.json"),
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));

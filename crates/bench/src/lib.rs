@@ -149,6 +149,354 @@ pub fn format_bounds(app: &str, b: &nc_apps::BoundsReport) -> String {
     )
 }
 
+pub mod admitload {
+    //! The shared admission-control workload: a heterogeneous tenant
+    //! fleet of edge pipelines fed by the `nc-workloads` request
+    //! generator, replayed through the `nc-admit` engine.
+    //!
+    //! Used by the `admit` bin (streams `results/admission.csv`), the
+    //! `admission` criterion bench, and the `perfbase` throughput row.
+    //! Decisions are independent across tenants (each tenant has its
+    //! own path state; the model cache is only consulted at
+    //! onboarding), so a sharded replay that processes whole tenants
+    //! and keys rows by the trace's global [`Request::seq`] reproduces
+    //! the serial output byte for byte — for any `NC_THREADS`.
+
+    use nc_admit::{oracle, AdmissionEngine, ClassId, FlowClass, Placement, TenantId};
+    use nc_core::num::Rat;
+    use nc_core::pipeline::{Node, NodeKind, Pipeline, Source, StageRates};
+    use nc_core::units::{mib_per_s, micros};
+    use nc_workloads::requests::{tenant_requests, ReqKind, Request, RequestConfig};
+
+    /// Stage count of every tenant's local pipeline.
+    pub const STAGES: usize = 4;
+
+    fn node(name: &str, rate_mib: f64, latency_us: f64, job: i64) -> Node {
+        Node::new(
+            name,
+            NodeKind::Compute,
+            StageRates::fixed(mib_per_s(rate_mib)),
+            micros(latency_us),
+            Rat::int(job),
+            Rat::int(job),
+        )
+    }
+
+    /// A tenant's local edge pipeline: capture → compress → encrypt →
+    /// uplink, in three capacity tiers so the fleet is heterogeneous.
+    /// All services are packetized rate-latency curves, so the engine's
+    /// scalar lane represents them exactly.
+    pub fn tenant_pipeline(tenant: usize) -> Pipeline {
+        let tier = [1.0, 1.5, 2.25][tenant % 3];
+        Pipeline::new(
+            format!("edge-t{}", tenant % 3),
+            Source {
+                rate: mib_per_s(48.0 * tier),
+                burst: Rat::int(64 << 10),
+            },
+            vec![
+                node("capture", 96.0 * tier, 20.0, 4 << 10),
+                node("compress", 56.0 * tier, 40.0, 4 << 10),
+                node("encrypt", 48.0 * tier, 30.0, 4 << 10),
+                node("uplink", 64.0 * tier, 120.0, 64 << 10),
+            ],
+        )
+    }
+
+    /// Per-stage backlog budget of a tenant's local pipeline (bytes):
+    /// tight enough that bursty classes hit it under load.
+    pub fn tenant_budget(tenant: usize) -> Rat {
+        Rat::int((24 << 20) * [1, 2, 3][tenant % 3])
+    }
+
+    /// The shared datacenter offload path: a wide-area uplink into an
+    /// over-provisioned processing tier — higher capacity, more fixed
+    /// latency. Every odd tenant gets one.
+    pub fn remote_pipeline() -> Pipeline {
+        Pipeline::new(
+            "datacenter",
+            Source {
+                rate: mib_per_s(256.0),
+                burst: Rat::int(256 << 10),
+            },
+            vec![
+                node("wan-uplink", 128.0, 4000.0, 64 << 10),
+                node("ingest", 512.0, 200.0, 64 << 10),
+                node("process", 256.0, 100.0, 16 << 10),
+            ],
+        )
+    }
+
+    /// The request-trace configuration for `tenants` tenants.
+    pub fn request_config(seed: u64, tenants: usize, per_tenant: usize) -> RequestConfig {
+        RequestConfig::new(seed, tenants, per_tenant, STAGES)
+    }
+
+    /// One replayed request, keyed for deterministic CSV assembly.
+    pub struct DecisionRow {
+        /// Global trace sequence number (the CSV sort key).
+        pub seq: u64,
+        /// Event time in the trace, seconds.
+        pub time_s: f64,
+        /// Tenant index.
+        pub tenant: u32,
+        /// Class index into the spec list.
+        pub class: u32,
+        /// Requested attachment stage.
+        pub attach: u32,
+        /// `"arrive"` or `"depart"`.
+        pub event: &'static str,
+        /// Decision label (`admit`, `admit-remote`, a rejection
+        /// reason), or `vacate`/`noop` for departures.
+        pub outcome: &'static str,
+        /// Certified delay bound for admissions (exact rational).
+        pub bound: Option<Rat>,
+    }
+
+    impl DecisionRow {
+        /// One CSV line (no trailing newline). Bounds are exact
+        /// rationals, so the text is identical on every host.
+        pub fn to_csv(&self) -> String {
+            let bound = match self.bound {
+                Some(b) => format!("{}/{}", b.numer(), b.denom()),
+                None => String::new(),
+            };
+            format!(
+                "{},{:.9},{},{},{},{},{},{}",
+                self.seq,
+                self.time_s,
+                self.tenant,
+                self.class,
+                self.attach,
+                self.event,
+                self.outcome,
+                bound
+            )
+        }
+
+        /// The CSV header line.
+        pub fn csv_header() -> &'static str {
+            "seq,time_s,tenant,class,attach,event,outcome,bound"
+        }
+    }
+
+    /// Map the generator's flow specs to engine flow classes.
+    pub fn flow_classes(config: &RequestConfig) -> Vec<FlowClass> {
+        config
+            .specs
+            .iter()
+            .map(|s| FlowClass {
+                name: s.name.into(),
+                rate: s.rate,
+                burst: s.burst,
+                block: s.block,
+                deadline: s.deadline,
+            })
+            .collect()
+    }
+
+    /// An engine loaded with a shard of the tenant fleet.
+    pub struct Shard {
+        /// The engine owning this shard's tenants.
+        pub engine: AdmissionEngine,
+        /// Engine handle per global tenant index in the shard.
+        pub tenants: Vec<(usize, TenantId)>,
+        /// Registered class handles, index-aligned with the specs.
+        pub classes: Vec<ClassId>,
+    }
+
+    /// Onboard the given tenants (one engine, shared model cache).
+    pub fn build_shard(config: &RequestConfig, tenant_ixs: &[usize]) -> Shard {
+        let mut engine = AdmissionEngine::new();
+        let classes = flow_classes(config)
+            .into_iter()
+            .map(|c| engine.register_class(c).expect("valid class"))
+            .collect();
+        let tenants = tenant_ixs
+            .iter()
+            .map(|&ix| {
+                let t = engine
+                    .add_tenant(tenant_pipeline(ix), Some(tenant_budget(ix)))
+                    .expect("valid tenant pipeline");
+                if ix % 2 == 1 {
+                    engine
+                        .set_remote(t, remote_pipeline(), None)
+                        .expect("valid remote pipeline");
+                }
+                (ix, t)
+            })
+            .collect();
+        Shard {
+            engine,
+            tenants,
+            classes,
+        }
+    }
+
+    /// Replay one tenant's request subsequence (trace order) through
+    /// the shard's engine, returning one row per request.
+    ///
+    /// Departures vacate the flow admitted by the referenced arrival
+    /// (`noop` if it was rejected); the admission identity — class,
+    /// requested attach, placement — is tracked per arrival index.
+    pub fn replay_tenant(
+        shard: &mut Shard,
+        tenant_id: TenantId,
+        requests: &[Request],
+    ) -> Vec<DecisionRow> {
+        let mut admitted: Vec<Option<(ClassId, usize, Placement)>> = Vec::new();
+        let mut rows = Vec::with_capacity(requests.len());
+        for r in requests {
+            let class = shard.classes[r.class as usize];
+            let (event, outcome, bound) = match r.kind {
+                ReqKind::Arrive => {
+                    let d = shard
+                        .engine
+                        .decide(tenant_id, class, r.attach as usize)
+                        .expect("trace stays in range");
+                    if admitted.len() <= r.arrive_ix as usize {
+                        admitted.resize(r.arrive_ix as usize + 1, None);
+                    }
+                    admitted[r.arrive_ix as usize] =
+                        d.placement().map(|p| (class, r.attach as usize, p));
+                    ("arrive", d.label(), d.bound())
+                }
+                ReqKind::Depart { arrive_ix } => {
+                    match admitted.get_mut(arrive_ix as usize).and_then(Option::take) {
+                        Some((c, attach, placement)) => {
+                            shard
+                                .engine
+                                .depart(tenant_id, c, attach, placement)
+                                .expect("resident flow departs cleanly");
+                            ("depart", "vacate", None)
+                        }
+                        None => ("depart", "noop", None),
+                    }
+                }
+            };
+            rows.push(DecisionRow {
+                seq: r.seq,
+                time_s: r.time_s,
+                tenant: r.tenant,
+                class: r.class,
+                attach: r.attach,
+                event,
+                outcome,
+                bound,
+            });
+        }
+        rows
+    }
+
+    /// Replay a shard of the globally sequenced trace (from
+    /// [`nc_workloads::requests::generate`]): each listed tenant's
+    /// subsequence, rows in shard-local order — merge by
+    /// [`DecisionRow::seq`] for the global CSV.
+    pub fn replay_shard(
+        config: &RequestConfig,
+        trace: &[Request],
+        tenant_ixs: &[usize],
+    ) -> (Vec<DecisionRow>, nc_admit::EngineStats) {
+        let mut shard = build_shard(config, tenant_ixs);
+        let mut rows = Vec::new();
+        let pairs: Vec<(usize, TenantId)> = shard.tenants.clone();
+        for (ix, tid) in pairs {
+            let reqs: Vec<Request> = trace
+                .iter()
+                .filter(|r| r.tenant as usize == ix)
+                .copied()
+                .collect();
+            rows.extend(replay_tenant(&mut shard, tid, &reqs));
+        }
+        (rows, shard.engine.stats())
+    }
+
+    /// Time the cold-start baseline: the same decision answered by
+    /// [`nc_admit::oracle::decide_full`] (full model rebuild + general
+    /// curve algebra) against a mid-load resident population. Returns
+    /// seconds per decision (best of `passes` batches of `iters`).
+    pub fn oracle_per_decision_s(config: &RequestConfig, tenant: usize, iters: u32) -> f64 {
+        // Build a representative resident population by shadow-replay.
+        let mut shard = build_shard(config, &[tenant]);
+        let tid = shard.tenants[0].1;
+        let mut resident: Vec<(usize, ClassId)> = Vec::new();
+        for r in tenant_requests(config, tenant) {
+            if let ReqKind::Arrive = r.kind {
+                let class = shard.classes[r.class as usize];
+                if let Ok(d) = shard.engine.decide(tid, class, r.attach as usize) {
+                    if d.placement() == Some(Placement::Local) {
+                        resident.push((r.attach as usize, class));
+                    }
+                }
+            }
+        }
+        let pipeline = tenant_pipeline(tenant);
+        let budget = Some(tenant_budget(tenant));
+        let classes = flow_classes(config);
+        let candidate = &classes[0];
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = std::time::Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(oracle::decide_full(
+                    &pipeline, budget, &classes, &resident, candidate, 0,
+                ))
+                .ok();
+            }
+            best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        best
+    }
+
+    /// Partition tenants round-robin over `workers` shards.
+    pub fn shard_tenants(tenants: usize, workers: usize) -> Vec<Vec<usize>> {
+        let workers = workers.max(1).min(tenants.max(1));
+        let mut shards = vec![Vec::new(); workers];
+        for t in 0..tenants {
+            shards[t % workers].push(t);
+        }
+        shards
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn sharded_replay_reproduces_serial_rows() {
+            let cfg = request_config(11, 6, 40);
+            let trace = nc_workloads::requests::generate(&cfg);
+            let (mut serial, _) = replay_shard(&cfg, &trace, &(0..6).collect::<Vec<_>>());
+            serial.sort_by_key(|r| r.seq);
+            let mut sharded = Vec::new();
+            for shard in shard_tenants(6, 3) {
+                sharded.extend(replay_shard(&cfg, &trace, &shard).0);
+            }
+            sharded.sort_by_key(|r| r.seq);
+            assert_eq!(serial.len(), sharded.len());
+            for (a, b) in serial.iter().zip(&sharded) {
+                assert_eq!(a.to_csv(), b.to_csv());
+            }
+            // The trace actually exercises the interesting outcomes.
+            let admits = serial.iter().filter(|r| r.outcome == "admit").count();
+            let departs = serial.iter().filter(|r| r.outcome == "vacate").count();
+            assert!(admits > 0 && departs > 0, "degenerate trace");
+        }
+
+        #[test]
+        fn remote_offload_occurs_for_odd_tenants() {
+            let cfg = request_config(11, 2, 400);
+            let trace = nc_workloads::requests::generate(&cfg);
+            let (rows, stats) = replay_shard(&cfg, &trace, &[1]);
+            assert!(stats.decisions > 0);
+            assert!(
+                rows.iter().any(|r| r.outcome == "admit-remote"),
+                "expected at least one remote offload under overload"
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

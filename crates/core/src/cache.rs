@@ -164,6 +164,11 @@ pub struct CacheStats {
     pub bound_hits: u64,
     /// Backlog/delay bound values computed.
     pub bound_misses: u64,
+    /// Scalar-keyed canonical shapes (`lb_ref`/`rl_ref`) served from the
+    /// memo table — the admission decision path's fast lane.
+    pub shape_hits: u64,
+    /// Scalar-keyed canonical shapes constructed and interned.
+    pub shape_misses: u64,
     /// Pipeline cascade prefixes reused by
     /// [`crate::pipeline::Pipeline::build_model_cached`].
     pub prefix_hits: u64,
@@ -174,7 +179,12 @@ pub struct CacheStats {
 impl CacheStats {
     /// Total memo hits across all operators (prefix reuse excluded).
     pub fn op_hits(&self) -> u64 {
-        self.conv_hits + self.deconv_hits + self.closure_hits + self.pack_hits + self.bound_hits
+        self.conv_hits
+            + self.deconv_hits
+            + self.closure_hits
+            + self.pack_hits
+            + self.bound_hits
+            + self.shape_hits
     }
 
     /// Total memo misses across all operators.
@@ -184,6 +194,7 @@ impl CacheStats {
             + self.closure_misses
             + self.pack_misses
             + self.bound_misses
+            + self.shape_misses
     }
 
     /// Element-wise sum, for aggregating per-thread caches.
@@ -200,6 +211,8 @@ impl CacheStats {
             pack_misses: self.pack_misses + other.pack_misses,
             bound_hits: self.bound_hits + other.bound_hits,
             bound_misses: self.bound_misses + other.bound_misses,
+            shape_hits: self.shape_hits + other.shape_hits,
+            shape_misses: self.shape_misses + other.shape_misses,
             prefix_hits: self.prefix_hits + other.prefix_hits,
             prefix_misses: self.prefix_misses + other.prefix_misses,
         }
@@ -264,6 +277,8 @@ pub struct CurveCache {
     deconv: HashMap<(usize, usize), CurveRef, FxBuildHasher>,
     closure: HashMap<(usize, usize), (CurveRef, bool, usize), FxBuildHasher>,
     pack: HashMap<(Rat, Rat, Rat), CurveRef, FxBuildHasher>,
+    lb: HashMap<(Rat, Rat), CurveRef, FxBuildHasher>,
+    rl: HashMap<(Rat, Rat), CurveRef, FxBuildHasher>,
     backlog: HashMap<(usize, usize), Value, FxBuildHasher>,
     delay: HashMap<(usize, usize), Value, FxBuildHasher>,
     stats: CacheStats,
@@ -342,6 +357,66 @@ impl CurveCache {
         self.closure_ref(&fr, max_iter)
     }
 
+    /// Interned leaky bucket `γ_{r,b}` keyed on the two scalars — the
+    /// admission decision path's fast lane. A hit costs one small-key
+    /// map probe plus an `Arc` clone: no curve is constructed, hashed,
+    /// or allocated, unlike [`CurveCache::intern`], which must hash the
+    /// full breakpoint vector of an already-built curve.
+    pub fn lb_ref(&mut self, rate: Rat, burst: Rat) -> CurveRef {
+        if let Some(r) = self.lb.get(&(rate, burst)) {
+            self.stats.shape_hits += 1;
+            return r.clone();
+        }
+        self.stats.shape_misses += 1;
+        let r = self.intern(&shapes::leaky_bucket(rate, burst));
+        self.lb.insert((rate, burst), r.clone());
+        r
+    }
+
+    /// Interned rate-latency `β_{R,T}` keyed on the two scalars (see
+    /// [`CurveCache::lb_ref`]). This is how the admission engine builds
+    /// suffix service concatenations: `RL(R₁,T₁) ⊗ RL(R₂,T₂) =
+    /// RL(min R, T₁+T₂)` in closed form, skipping the general `⊗`
+    /// strategy grid entirely.
+    pub fn rl_ref(&mut self, rate: Rat, latency: Rat) -> CurveRef {
+        if let Some(r) = self.rl.get(&(rate, latency)) {
+            self.stats.shape_hits += 1;
+            return r.clone();
+        }
+        self.stats.shape_misses += 1;
+        let r = self.intern(&shapes::rate_latency(rate, latency));
+        self.rl.insert((rate, latency), r.clone());
+        r
+    }
+
+    /// Memoized backlog bound on interned handles: identity-keyed, so a
+    /// hit never re-hashes curve contents.
+    pub fn backlog_ref(&mut self, f: &CurveRef, g: &CurveRef) -> Value {
+        let key = (f.id(), g.id());
+        if let Some(&v) = self.backlog.get(&key) {
+            self.stats.bound_hits += 1;
+            return v;
+        }
+        self.stats.bound_misses += 1;
+        let v = backlog_bound(f.curve(), g.curve());
+        self.backlog.insert(key, v);
+        v
+    }
+
+    /// Memoized delay bound on interned handles (see
+    /// [`CurveCache::backlog_ref`]).
+    pub fn delay_ref(&mut self, f: &CurveRef, g: &CurveRef) -> Value {
+        let key = (f.id(), g.id());
+        if let Some(&v) = self.delay.get(&key) {
+            self.stats.bound_hits += 1;
+            return v;
+        }
+        self.stats.bound_misses += 1;
+        let v = delay_bound(f.curve(), g.curve());
+        self.delay.insert(key, v);
+        v
+    }
+
     /// Counters accumulated since construction.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -376,26 +451,12 @@ impl CurveOps for CurveCache {
         out
     }
     fn backlog(&mut self, f: &Curve, g: &Curve) -> Value {
-        let key = (self.intern(f).id(), self.intern(g).id());
-        if let Some(&v) = self.backlog.get(&key) {
-            self.stats.bound_hits += 1;
-            return v;
-        }
-        self.stats.bound_misses += 1;
-        let v = backlog_bound(f, g);
-        self.backlog.insert(key, v);
-        v
+        let (fr, gr) = (self.intern(f), self.intern(g));
+        self.backlog_ref(&fr, &gr)
     }
     fn delay(&mut self, f: &Curve, g: &Curve) -> Value {
-        let key = (self.intern(f).id(), self.intern(g).id());
-        if let Some(&v) = self.delay.get(&key) {
-            self.stats.bound_hits += 1;
-            return v;
-        }
-        self.stats.bound_misses += 1;
-        let v = delay_bound(f, g);
-        self.delay.insert(key, v);
-        v
+        let (fr, gr) = (self.intern(f), self.intern(g));
+        self.delay_ref(&fr, &gr)
     }
 }
 
@@ -447,6 +508,33 @@ mod tests {
         assert_eq!(cache.deconv(&g, &f), min_plus_deconv(&g, &f));
         let s = cache.stats();
         assert_eq!((s.deconv_misses, s.deconv_hits), (2, 0));
+    }
+
+    #[test]
+    fn shape_fast_lane_interns_and_memoizes() {
+        let mut cache = CurveCache::new();
+        let a1 = cache.lb_ref(Rat::int(2), Rat::int(5));
+        let a2 = cache.lb_ref(Rat::int(2), Rat::int(5));
+        assert_eq!(a1, a2);
+        assert_eq!(a1.curve(), &lb(2, 5));
+        let b = cache.rl_ref(Rat::int(3), Rat::int(4));
+        assert_eq!(b.curve(), &rl(3, 4));
+        let s = cache.stats();
+        assert_eq!((s.shape_misses, s.shape_hits), (2, 1));
+        // The fast lane shares the interner: building the same shape
+        // the slow way resolves to the same identity.
+        assert_eq!(cache.intern(&lb(2, 5)).id(), a1.id());
+
+        // Identity-keyed bounds on the interned handles agree with the
+        // direct computation and hit on repetition.
+        let d1 = cache.delay_ref(&a1, &b);
+        assert_eq!(d1, crate::bounds::delay_bound(&lb(2, 5), &rl(3, 4)));
+        let x1 = cache.backlog_ref(&a1, &b);
+        assert_eq!(x1, crate::bounds::backlog_bound(&lb(2, 5), &rl(3, 4)));
+        let before = cache.stats().bound_hits;
+        let _ = cache.delay_ref(&a1, &b);
+        let _ = cache.backlog_ref(&a1, &b);
+        assert_eq!(cache.stats().bound_hits, before + 2);
     }
 
     #[test]

@@ -229,6 +229,27 @@ impl Curve {
         }
     }
 
+    /// Recognize the rate-latency shape `β(t) = [R·(t − T)]⁺` and
+    /// return `(R, T)` (a pure rate `R·t` reports `T = 0`).
+    ///
+    /// This is exactly the shape [`crate::curve::shapes::rate_latency`]
+    /// and the packetizer `[R(t − T) − l]⁺ = RL(R, T + l/R)` produce,
+    /// so it covers every service curve a pipeline stage feeds into the
+    /// bounds — the detector behind the closed-form deviation fast
+    /// paths and the admission engine's scalar decision lane.
+    pub fn as_rate_latency(&self) -> Option<(Rat, Rat)> {
+        let zero = |bp: &Breakpoint| bp.v == Value::ZERO && bp.v_right == Value::ZERO;
+        match self.breakpoints() {
+            [b0] if b0.x.is_zero() && zero(b0) && !b0.slope.is_negative() => {
+                Some((b0.slope, Rat::ZERO))
+            }
+            [b0, b1] if b0.x.is_zero() && zero(b0) && b0.slope.is_zero() && zero(b1) => {
+                Some((b1.slope, b1.x))
+            }
+            _ => None,
+        }
+    }
+
     /// `true` iff the curve is finite for every `t ≥ 0`.
     pub fn is_finite_everywhere(&self) -> bool {
         self.bps

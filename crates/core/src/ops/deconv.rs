@@ -320,31 +320,10 @@ fn shift_left(f: &Curve, t_shift: Rat) -> Curve {
 }
 
 /// Detects curves that are exactly a rate-latency `RL(R, T)` (including
-/// the pure rate `R·t` as `T = 0`), returning `(R, T)`.
+/// the pure rate `R·t` as `T = 0`), returning `(R, T)` — delegates to
+/// [`Curve::as_rate_latency`].
 fn as_rate_latency(c: &Curve) -> Option<(Rat, Rat)> {
-    match c.breakpoints() {
-        [only] => {
-            if only.v == Value::ZERO && only.v_right == Value::ZERO && !only.slope.is_negative() {
-                Some((only.slope, Rat::ZERO))
-            } else {
-                None
-            }
-        }
-        [first, last] => {
-            let flat_start =
-                first.v == Value::ZERO && first.v_right == Value::ZERO && first.slope.is_zero();
-            if flat_start
-                && last.v == Value::ZERO
-                && last.v_right == Value::ZERO
-                && last.slope.is_positive()
-            {
-                Some((last.slope, last.x))
-            } else {
-                None
-            }
-        }
-        _ => None,
-    }
+    c.as_rate_latency()
 }
 
 /// Closed form for concave `f ⊘ RL(R, T)`, `O(n)`.

@@ -17,21 +17,10 @@ use crate::curve::pwl::Curve;
 use crate::num::{Rat, Value};
 
 /// Recognize the rate-latency shape `β(t) = [R·(t − T)]⁺` and return
-/// `(R, T)`. This is exactly what [`crate::curve::shapes::rate_latency`]
-/// and the packetizer produce, so it covers every service curve a
-/// pipeline stage feeds into the bounds.
+/// `(R, T)` — delegates to [`Curve::as_rate_latency`], which covers
+/// every service curve a pipeline stage feeds into the bounds.
 fn as_rate_latency(g: &Curve) -> Option<(Rat, Rat)> {
-    let zero =
-        |bp: &crate::curve::pwl::Breakpoint| bp.v == Value::ZERO && bp.v_right == Value::ZERO;
-    match g.breakpoints() {
-        [b0] if b0.x.is_zero() && zero(b0) && !b0.slope.is_negative() => {
-            Some((b0.slope, Rat::ZERO))
-        }
-        [b0, b1] if b0.x.is_zero() && zero(b0) && b0.slope.is_zero() && zero(b1) => {
-            Some((b1.slope, b1.x))
-        }
-        _ => None,
-    }
+    g.as_rate_latency()
 }
 
 /// Vertical deviation `sup_{t ≥ 0} { f(t) − g(t) }`.

@@ -671,6 +671,40 @@ impl ModelCache {
     pub fn stats(&self) -> CacheStats {
         self.curves.stats()
     }
+
+    /// Number of memoized pipeline prefixes currently held.
+    pub fn prefix_entries(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Suffix-invalidation hook: evict every memoized prefix of
+    /// `pipeline` longer than `keep` stages, returning the number of
+    /// entries dropped.
+    ///
+    /// When a long-lived service reconfigures stage `k` of a pipeline
+    /// (admission-control reprovisioning, degraded-mode rewrites), the
+    /// cascade analyses of prefixes `0..=k` are still exact — only the
+    /// entries *past* the edited stage are stale for the *old*
+    /// signature chain, and under the new chain they would never be hit
+    /// again (the new signatures miss and re-analyze). Calling this
+    /// with the pre-edit pipeline and `keep = k` drops exactly those
+    /// unreachable entries, bounding memo growth across
+    /// reconfigurations without touching entries of other tenants that
+    /// share the cache. Curves stay interned — the interner is
+    /// append-only by design (identity soundness; see
+    /// [`crate::cache`]).
+    pub fn invalidate_suffix(&mut self, pipeline: &Pipeline, keep: usize) -> usize {
+        let sigs: Arc<[StageSig]> = pipeline.nodes.iter().map(StageSig::of).collect();
+        let before = self.prefixes.len();
+        self.prefixes.retain(|key, _| {
+            key.len <= keep
+                || key.len > sigs.len()
+                || key.source_rate != pipeline.source.rate
+                || key.source_burst != pipeline.source.burst
+                || key.prefix() != &sigs[..key.len]
+        });
+        before - self.prefixes.len()
+    }
 }
 
 /// Network-calculus artifacts for one node, input-referred.
@@ -1353,5 +1387,90 @@ mod tests {
         let m = p.build_model();
         assert_eq!(m.bottleneck_rate_min, mib_per_s(56.0));
         assert_eq!(m.regime(), Regime::Overloaded); // 100 > 56
+    }
+
+    #[test]
+    fn max_admissible_rate_zero_budget() {
+        // With a positive source burst, even a zero rate overflows a
+        // zero-byte budget: the burst alone is resident at t = 0.
+        let m = two_stage().build_model();
+        assert_eq!(m.max_admissible_rate(Rat::ZERO), None);
+
+        // A burst-free stream against the same service fits a zero
+        // budget (pipeline validation requires burst > 0, so probe the
+        // bounds-level function directly with b = 0) — but any
+        // positive rate queues during the packetized service latency,
+        // so the cap is exactly 0, not None.
+        let m = two_stage().build_model();
+        let cap = bounds::max_admissible_rate(&m.service_concat, Rat::ZERO, Rat::ZERO)
+            .expect("zero burst fits a zero budget");
+        assert_eq!(cap, Rat::ZERO);
+    }
+
+    #[test]
+    fn max_admissible_rate_budget_above_line_rate_needs() {
+        // A budget so large no finite-time constraint binds: the cap is
+        // the line (bottleneck service) rate, beyond which the true
+        // backlog bound is infinite regardless of buffering.
+        let m = two_stage().build_model();
+        let cap = m
+            .max_admissible_rate(Rat::int(1 << 30))
+            .expect("huge budget is feasible");
+        assert_eq!(cap, m.bottleneck_rate_min);
+        // And the cap is achievable: at the cap the backlog bound is
+        // finite (critical regime, not overloaded).
+        assert!(cap.is_positive());
+    }
+
+    #[test]
+    fn max_admissible_rate_is_exact_at_the_cap() {
+        // At the returned cap the backlog bound meets the budget; just
+        // above it (1%), the bound exceeds the budget — the half-plane
+        // intersection is tight, not merely safe.
+        let p = two_stage();
+        let m = p.build_model();
+        let budget = Rat::int(64);
+        let cap = m.max_admissible_rate(budget).unwrap();
+        let at = |r: Rat| {
+            let alpha = shapes::leaky_bucket(r, p.source.burst);
+            crate::ops::vertical_deviation(&alpha, &m.service_concat)
+        };
+        assert!(at(cap) <= Value::finite(budget));
+        if cap < m.bottleneck_rate_min {
+            let above = cap * rat(101, 100);
+            assert!(at(above) > Value::finite(budget));
+        }
+    }
+
+    #[test]
+    fn invalidate_suffix_evicts_only_stale_entries() {
+        let mut cache = ModelCache::new();
+        let p = two_stage();
+        let _ = p.build_model_cached(&mut cache);
+        assert_eq!(cache.prefix_entries(), 2); // prefixes of len 1 and 2
+
+        // A second, unrelated pipeline shares the cache.
+        let mut q = two_stage();
+        q.source.rate = Rat::int(3);
+        let _ = q.build_model_cached(&mut cache);
+        assert_eq!(cache.prefix_entries(), 4);
+
+        // Reconfiguring p's stage 1 (index 1) keeps the len-1 prefix.
+        let evicted = cache.invalidate_suffix(&p, 1);
+        assert_eq!(evicted, 1);
+        assert_eq!(cache.prefix_entries(), 3);
+
+        // q's entries are untouched: rebuilding q is all prefix hits.
+        let before = cache.stats().prefix_hits;
+        let _ = q.build_model_cached(&mut cache);
+        assert_eq!(cache.stats().prefix_hits, before + 1);
+
+        // Rebuilding p resumes from the surviving len-1 prefix (a hit,
+        // not a from-scratch miss) and re-memoizes the evicted suffix.
+        let (hits, misses) = (cache.stats().prefix_hits, cache.stats().prefix_misses);
+        let _ = p.build_model_cached(&mut cache);
+        assert_eq!(cache.stats().prefix_hits, hits + 1);
+        assert_eq!(cache.stats().prefix_misses, misses);
+        assert_eq!(cache.prefix_entries(), 4);
     }
 }

@@ -13,7 +13,10 @@
 //! * [`aes`] — AES-256-CBC (the Vitis cryptography kernel of §5);
 //! * [`link`] — 10 GbE and PCIe link models with packet overheads;
 //! * [`measure`] — the isolation measurement harness producing the
-//!   min/avg/max throughput triples of Table 2.
+//!   min/avg/max throughput triples of Table 2;
+//! * [`requests`] — a seeded request-driven admission workload
+//!   (Poisson flow arrivals over heterogeneous classes) feeding the
+//!   `nc-admit` engine.
 //!
 //! These kernels are deliberately *measurable* stand-ins for the
 //! paper's FPGA/GPU deployments: the models in `nc-core` consume only
@@ -29,6 +32,7 @@ pub mod link;
 pub mod lz4;
 pub mod lz4frame;
 pub mod measure;
+pub mod requests;
 pub mod xxhash;
 
 pub use link::LinkModel;

@@ -1,0 +1,333 @@
+//! Request-driven admission workload generator.
+//!
+//! Models the open-loop request stream an always-on admission engine
+//! faces (in the style of serverless/FaaS trace simulators such as
+//! dslab-faas): per-tenant Poisson flow arrivals over a heterogeneous
+//! mix of flow classes (rate, burst, block size, deadline SLO), with
+//! exponentially distributed holding times producing a matching
+//! departure stream.
+//!
+//! Determinism is structured for parallel replay: every tenant draws
+//! from its **own** counter-derived ChaCha8 stream, so a tenant's
+//! request subsequence is a pure function of `(seed, tenant)` —
+//! independent of how many tenants exist or how tenants are sharded
+//! over workers. [`generate`] merges the per-tenant streams into one
+//! globally sequenced trace; a sharded consumer can process each
+//! tenant's subsequence independently and key results by [`Request::seq`]
+//! to reproduce the serial output byte for byte.
+
+use nc_core::num::Rat;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One heterogeneous flow class offered to the admission engine.
+///
+/// Rates and bursts are input-referred bytes/s and bytes (exact
+/// rationals, matching `nc-core`); the stochastic parts of the
+/// workload (arrival times, holding times) are `f64` seconds.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Class name (reporting only).
+    pub name: &'static str,
+    /// Sustained leaky-bucket rate (bytes/s).
+    pub rate: Rat,
+    /// Burst allowance (bytes).
+    pub burst: Rat,
+    /// Block size the consumer needs delivered whole (bytes).
+    pub block: Rat,
+    /// End-to-end delay SLO (seconds).
+    pub deadline: Rat,
+    /// Relative popularity in the arrival mix.
+    pub weight: u32,
+    /// Mean holding time (seconds) before the flow departs.
+    pub hold_mean_s: f64,
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct RequestConfig {
+    /// Master seed; tenants derive independent streams from it.
+    pub seed: u64,
+    /// Number of tenants (each with its own pipeline in the consumer).
+    pub tenants: usize,
+    /// Flow arrivals generated per tenant.
+    pub per_tenant: usize,
+    /// Mean arrival rate per tenant (flows/s, Poisson).
+    pub arrival_rate_hz: f64,
+    /// Attachment stages are drawn uniformly from `0..stages`.
+    pub stages: usize,
+    /// The heterogeneous class mix (weighted).
+    pub specs: Vec<FlowSpec>,
+}
+
+impl RequestConfig {
+    /// A representative configuration over [`default_specs`].
+    pub fn new(seed: u64, tenants: usize, per_tenant: usize, stages: usize) -> RequestConfig {
+        RequestConfig {
+            seed,
+            tenants,
+            per_tenant,
+            arrival_rate_hz: 2.0,
+            stages,
+            specs: default_specs(),
+        }
+    }
+}
+
+/// What a request asks of the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqKind {
+    /// A new flow asks to be admitted.
+    Arrive,
+    /// The flow admitted by the tenant-local arrival number
+    /// `arrive_ix` leaves (a no-op if that arrival was rejected).
+    Depart {
+        /// Tenant-local arrival index being vacated.
+        arrive_ix: u32,
+    },
+}
+
+/// One event of the request trace.
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    /// Global sequence number in merged time order (CSV row key).
+    pub seq: u64,
+    /// Event time (seconds since trace start).
+    pub time_s: f64,
+    /// Tenant the request targets.
+    pub tenant: u32,
+    /// Index into [`RequestConfig::specs`].
+    pub class: u32,
+    /// Requested attachment stage on the tenant's local pipeline.
+    pub attach: u32,
+    /// Arrival or departure.
+    pub kind: ReqKind,
+    /// Tenant-local arrival index (valid for [`ReqKind::Arrive`];
+    /// departures repeat the index they vacate).
+    pub arrive_ix: u32,
+}
+
+/// A default heterogeneous mix: tight-deadline telemetry, bursty
+/// video, and bulk transfer classes (bytes and seconds).
+pub fn default_specs() -> Vec<FlowSpec> {
+    vec![
+        FlowSpec {
+            name: "telemetry",
+            rate: Rat::int(64 << 10),
+            burst: Rat::int(8 << 10),
+            block: Rat::int(1 << 10),
+            deadline: Rat::new(1, 2),
+            weight: 5,
+            hold_mean_s: 20.0,
+        },
+        FlowSpec {
+            name: "video",
+            rate: Rat::int(4 << 20),
+            burst: Rat::int(2 << 20),
+            block: Rat::int(64 << 10),
+            deadline: Rat::int(2),
+            weight: 3,
+            hold_mean_s: 60.0,
+        },
+        FlowSpec {
+            name: "bulk",
+            rate: Rat::int(16 << 20),
+            burst: Rat::int(8 << 20),
+            block: Rat::int(1 << 20),
+            deadline: Rat::int(30),
+            weight: 2,
+            hold_mean_s: 120.0,
+        },
+    ]
+}
+
+/// Per-tenant RNG stream: ChaCha8 keyed by a splitmix64 expansion of
+/// `(seed, tenant)`, so streams are mutually independent and stable
+/// under resharding.
+fn tenant_rng(seed: u64, tenant: u64) -> ChaCha8Rng {
+    fn splitmix64(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut x = seed ^ tenant.wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut key = [0u8; 32];
+    for chunk in key.chunks_exact_mut(8) {
+        chunk.copy_from_slice(&splitmix64(&mut x).to_le_bytes());
+    }
+    ChaCha8Rng::from_seed(key)
+}
+
+/// `Exp(1/mean)` sample; the uniform is clamped away from zero so the
+/// log never sees it.
+fn exp_sample(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -mean * u.ln()
+}
+
+/// Weighted class pick by cumulative weight.
+fn pick_class(rng: &mut ChaCha8Rng, specs: &[FlowSpec]) -> u32 {
+    let total: u32 = specs.iter().map(|s| s.weight).sum();
+    let mut ball = rng.gen_range(0..total.max(1));
+    for (i, s) in specs.iter().enumerate() {
+        if ball < s.weight {
+            return i as u32;
+        }
+        ball -= s.weight;
+    }
+    (specs.len() - 1) as u32
+}
+
+/// One tenant's request stream (arrivals and departures, time-sorted),
+/// with `seq` left at 0 — a pure function of `(config.seed, tenant)`.
+pub fn tenant_requests(config: &RequestConfig, tenant: usize) -> Vec<Request> {
+    assert!(config.stages > 0 && !config.specs.is_empty());
+    let mut rng = tenant_rng(config.seed, tenant as u64);
+    let mut events = Vec::with_capacity(config.per_tenant * 2);
+    let mut t = 0.0f64;
+    for ix in 0..config.per_tenant {
+        t += exp_sample(&mut rng, 1.0 / config.arrival_rate_hz);
+        let class = pick_class(&mut rng, &config.specs);
+        let attach = rng.gen_range(0..config.stages as u32);
+        let hold = exp_sample(&mut rng, config.specs[class as usize].hold_mean_s);
+        events.push(Request {
+            seq: 0,
+            time_s: t,
+            tenant: tenant as u32,
+            class,
+            attach,
+            kind: ReqKind::Arrive,
+            arrive_ix: ix as u32,
+        });
+        events.push(Request {
+            seq: 0,
+            time_s: t + hold,
+            tenant: tenant as u32,
+            class,
+            attach,
+            kind: ReqKind::Depart {
+                arrive_ix: ix as u32,
+            },
+            arrive_ix: ix as u32,
+        });
+    }
+    // Deterministic time order; ties (measure-zero but possible) break
+    // on (arrival-first, arrival index).
+    events.sort_by(|a, b| {
+        a.time_s
+            .partial_cmp(&b.time_s)
+            .expect("times are finite")
+            .then_with(|| {
+                let key = |r: &Request| (matches!(r.kind, ReqKind::Depart { .. }), r.arrive_ix);
+                key(a).cmp(&key(b))
+            })
+    });
+    events
+}
+
+/// The full merged trace: per-tenant streams interleaved in global
+/// time order, `seq` assigned 0.. in that order. A sharded consumer
+/// processing whole tenants in their local order and emitting results
+/// keyed by `seq` reproduces the serial trace exactly.
+pub fn generate(config: &RequestConfig) -> Vec<Request> {
+    let mut all = Vec::with_capacity(config.tenants * config.per_tenant * 2);
+    for tenant in 0..config.tenants {
+        all.extend(tenant_requests(config, tenant));
+    }
+    // Stable global order: time, then tenant, then local tiebreak.
+    all.sort_by(|a, b| {
+        a.time_s
+            .partial_cmp(&b.time_s)
+            .expect("times are finite")
+            .then_with(|| {
+                let key = |r: &Request| {
+                    (
+                        r.tenant,
+                        matches!(r.kind, ReqKind::Depart { .. }),
+                        r.arrive_ix,
+                    )
+                };
+                key(a).cmp(&key(b))
+            })
+    });
+    for (seq, r) in all.iter_mut().enumerate() {
+        r.seq = seq as u64;
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RequestConfig {
+        RequestConfig::new(7, 4, 50, 3)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&cfg());
+        let b = generate(&cfg());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time_s, y.time_s);
+            assert_eq!(
+                (x.seq, x.tenant, x.class, x.attach, x.kind),
+                (y.seq, y.tenant, y.class, y.attach, y.kind)
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_streams_are_independent_of_the_fleet_size() {
+        let mut small = cfg();
+        small.tenants = 2;
+        let solo = tenant_requests(&small, 1);
+        let in_fleet: Vec<Request> = generate(&cfg())
+            .into_iter()
+            .filter(|r| r.tenant == 1)
+            .collect();
+        assert_eq!(solo.len(), in_fleet.len());
+        for (x, y) in solo.iter().zip(&in_fleet) {
+            assert_eq!(x.time_s, y.time_s);
+            assert_eq!((x.class, x.attach, x.kind), (y.class, y.attach, y.kind));
+        }
+    }
+
+    #[test]
+    fn merged_trace_is_time_ordered_with_dense_seqs() {
+        let trace = generate(&cfg());
+        assert_eq!(trace.len(), 4 * 50 * 2);
+        for (i, w) in trace.windows(2).enumerate() {
+            assert!(w[0].time_s <= w[1].time_s, "disorder at {i}");
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        assert_eq!(trace[0].seq, 0);
+    }
+
+    #[test]
+    fn departures_follow_their_arrivals_and_classes_mix() {
+        let trace = generate(&cfg());
+        let mut seen = vec![std::collections::HashSet::new(); 4];
+        let mut class_seen = std::collections::HashSet::new();
+        for r in &trace {
+            class_seen.insert(r.class);
+            match r.kind {
+                ReqKind::Arrive => {
+                    assert!(seen[r.tenant as usize].insert(r.arrive_ix));
+                }
+                ReqKind::Depart { arrive_ix } => {
+                    assert!(
+                        seen[r.tenant as usize].contains(&arrive_ix),
+                        "depart before arrive"
+                    );
+                }
+            }
+            assert!(r.attach < 3);
+        }
+        // All three default classes show up in 200 arrivals.
+        assert_eq!(class_seen.len(), 3);
+    }
+}

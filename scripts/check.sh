@@ -14,10 +14,11 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "==> criterion smoke: curve_ops + des_calendar + par_scaling in test mode"
+echo "==> criterion smoke: curve_ops + des_calendar + par_scaling + admission in test mode"
 cargo bench -p nc-bench --bench curve_ops -- --test
 cargo bench -p nc-bench --bench des_calendar -- --test
 PAR_SCALING_SMOKE=1 cargo bench -p nc-bench --bench par_scaling -- --test
+cargo bench -p nc-bench --bench admission -- --test
 
 echo "==> sweep smoke: 4x4 grid through the batch engine"
 SWEEP_GRID=4x4 cargo run --release -q -p nc-bench --bin sweep
@@ -28,6 +29,16 @@ SWEEP_GRID=4x4 NC_THREADS=1 cargo run --release -q -p nc-bench --bin sweep > /de
 cmp results/sweep_bitw.csv /tmp/sweep_ambient.csv \
   || { echo "FAIL: sweep CSV differs between NC_THREADS=1 and the ambient pool" >&2; exit 1; }
 rm -f /tmp/sweep_ambient.csv
+
+echo "==> admission smoke: 6-tenant request trace through the admit bin"
+ADMIT_FLEET=6 ADMIT_REQS=40 cargo run --release -q -p nc-bench --bin admit > /dev/null
+
+echo "==> NC_THREADS determinism: admission CSV byte-identical at 1 worker"
+cp results/admission.csv /tmp/admission_ambient.csv
+ADMIT_FLEET=6 ADMIT_REQS=40 NC_THREADS=1 cargo run --release -q -p nc-bench --bin admit > /dev/null
+cmp results/admission.csv /tmp/admission_ambient.csv \
+  || { echo "FAIL: admission CSV differs between NC_THREADS=1 and the ambient pool" >&2; exit 1; }
+rm -f /tmp/admission_ambient.csv
 
 echo "==> faults gate: degraded bounds contain every faulted run"
 cargo run --release -q -p nc-bench --bin faults > /dev/null

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Perf regression gate: re-run the perfbase snapshot into a temp file
-# and flag any repro binary or simulation row that is >25% slower than
-# the newest committed BENCH_*.json baseline.
+# and flag any repro binary, simulation, admission, or parallel-engine
+# row that is >25% slower than the newest committed BENCH_*.json
+# baseline. Parallel-engine rows whose worker count exceeds this
+# host's cpus are skipped with a printed notice — on a smaller box
+# those rows measure oversubscription, not the engine.
 #
 # Default mode is warn-only — wall-clock noise on shared machines makes
 # a hard gate flakier than it is useful, so the warning is the review
@@ -21,18 +24,28 @@ fi
 
 out=$(mktemp -t perfgate.XXXXXX.json)
 # perfbase re-runs the repro bins, which rewrite results/ — all
-# byte-deterministic except the sweep CSV: perfbase times the default
-# 16x16 grid, while the committed artifact is the 4x4 smoke output.
-# Snapshot and restore it so a check.sh run leaves the tree clean.
+# byte-deterministic except two: perfbase times the sweep's default
+# 16x16 grid and the admit bin's default 32x250 fleet, while the
+# committed artifacts are the check.sh smoke outputs. Snapshot and
+# restore them so a check.sh run leaves the tree clean.
 sweep_csv=results/sweep_bitw.csv
 sweep_saved=$(mktemp -t perfgate.sweep.XXXXXX.csv)
 if ! cp "$sweep_csv" "$sweep_saved" 2>/dev/null; then
     rm -f "$sweep_saved"
     sweep_saved=""
 fi
+admit_csv=results/admission.csv
+admit_saved=$(mktemp -t perfgate.admit.XXXXXX.csv)
+if ! cp "$admit_csv" "$admit_saved" 2>/dev/null; then
+    rm -f "$admit_saved"
+    admit_saved=""
+fi
 restore() {
     if [[ -n "$sweep_saved" && -f "$sweep_saved" ]]; then
         mv "$sweep_saved" "$sweep_csv"
+    fi
+    if [[ -n "$admit_saved" && -f "$admit_saved" ]]; then
+        mv "$admit_saved" "$admit_csv"
     fi
     rm -f "$out"
 }
@@ -58,15 +71,29 @@ with open(cur_path) as f:
     cur = json.load(f)
 
 def rows(snapshot):
-    r = {}
+    r, workers = {}, {}
     for b in snapshot.get("bins", []):
         r[("bin", b["bin"])] = b["wall_s"]
     for s in snapshot.get("sims", []):
         r[("sim", s["what"])] = s["per_run_s"]
-    return r
+    for a in snapshot.get("admission", []):
+        r[("adm", a["what"])] = a["per_decision_s"]
+    for p in snapshot.get("par_scaling", []):
+        name = f"{p['what']} workers={p['workers'] or 'seq'}"
+        r[("par", name)] = p["per_run_s"]
+        workers[name] = p["workers"]
+    return r, workers
 
-old, new = rows(base), rows(cur)
+(old, old_workers), (new, _) = rows(base), rows(cur)
 shared = sorted(old.keys() & new.keys())
+host_cpus = cur.get("host_cpus") or 1
+skipped = [k for k in shared if k[0] == "par" and old_workers.get(k[1], 0) > host_cpus]
+if skipped:
+    print(f"perfgate: note — skipping {len(skipped)} parallel-engine row(s) "
+          f"whose worker count exceeds host_cpus={host_cpus}:")
+    for _, name in skipped:
+        print(f"  par  {name}")
+    shared = [k for k in shared if k not in set(skipped)]
 slow = [(k, old[k], new[k]) for k in shared if new[k] > old[k] * 1.25]
 
 if slow:

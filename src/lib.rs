@@ -15,7 +15,10 @@
 //! * [`workloads`](nc_workloads) — from-scratch BLASTN stages, LZ4,
 //!   AES-256-CBC, link models, and the isolation measurement harness;
 //! * [`apps`](nc_apps) — the BLAST (§4) and bump-in-the-wire (§5)
-//!   evaluations wired end to end.
+//!   evaluations wired end to end;
+//! * [`admit`](nc_admit) — a high-throughput admission-control engine
+//!   answering admit/reject/offload by incremental recomputation of
+//!   the §3 bounds.
 //!
 //! ## One-minute tour
 //!
@@ -54,3 +57,6 @@ pub use nc_apps as apps;
 
 /// Cached parameter-sweep engine (re-export of `nc-sweep`).
 pub use nc_sweep as sweep;
+
+/// Incremental admission-control engine (re-export of `nc-admit`).
+pub use nc_admit as admit;
