@@ -1,0 +1,242 @@
+//! Loom-free stress test for `reconfigure_stage` + `invalidate_suffix`
+//! under admission load.
+//!
+//! The engine API is `&mut self`, so "concurrency" here is the
+//! adversarial *interleaving* of operations, not OS threads: a seeded
+//! deterministic schedule mixes admission decisions, departures, and
+//! stage reconfigurations, and after **every** reconfiguration the
+//! engine's incremental state (rebuilt prefixes, suffix-invalidated
+//! cache, re-adopted resident flows) is checked for oracle equality —
+//! each `peek` must equal a from-scratch, uncached recomputation
+//! through the general curve algebra on a shadow copy of the pipeline
+//! ([`nc_admit::oracle::decide_full`]). Failed reconfigurations
+//! (onboarding rejects the new provisioning) must leave the engine
+//! exactly as it was, which the same probe asserts against the
+//! unchanged shadow.
+
+use nc_admit::{oracle, AdmissionEngine, ClassId, Decision, FlowClass, Placement};
+use nc_core::num::{rat, Rat};
+use nc_core::pipeline::{Node, NodeKind, Pipeline, Source, StageRates};
+
+/// splitmix64: deterministic, dependency-free stream of pseudo-random
+/// words for the op schedule.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn node(i: usize, rate: i64, job: i64, latency_q: i64) -> Node {
+    Node::new(
+        format!("s{i}"),
+        NodeKind::Compute,
+        StageRates::fixed(Rat::int(rate)),
+        rat(latency_q as i128, 4),
+        Rat::int(job),
+        Rat::int(job),
+    )
+}
+
+fn pipeline(stage_rates: &[i64]) -> Pipeline {
+    let nodes = stage_rates
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| node(i, r, 1 + (i as i64 % 3), (i as i64) % 4))
+        .collect();
+    Pipeline::new(
+        "stress",
+        Source {
+            rate: Rat::int(4),
+            burst: Rat::int(8),
+        },
+        nodes,
+    )
+}
+
+fn classes() -> Vec<FlowClass> {
+    [(2, 3, 40), (5, 1, 12), (1, 8, 96)]
+        .into_iter()
+        .enumerate()
+        .map(|(i, (rate_q, burst_q, dl_q))| FlowClass {
+            name: format!("c{i}"),
+            rate: rat(rate_q, 4),
+            burst: rat(burst_q, 4),
+            block: rat(1, 4),
+            deadline: rat(dl_q, 4),
+        })
+        .collect()
+}
+
+/// Every `peek` the engine can answer equals the oracle on the shadow
+/// pipeline and shadow resident set (local-only tenant: a rejection
+/// has no remote fallback to mirror).
+#[allow(clippy::too_many_arguments)]
+fn assert_oracle_equal(
+    engine: &mut AdmissionEngine,
+    tenant: nc_admit::TenantId,
+    shadow: &Pipeline,
+    budget: Option<Rat>,
+    classes: &[FlowClass],
+    ids: &[ClassId],
+    residents: &[(usize, ClassId)],
+    context: &str,
+) {
+    for (ci, &class) in ids.iter().enumerate() {
+        for attach in 0..shadow.nodes.len() {
+            let got = engine.peek(tenant, class, attach).unwrap();
+            let want =
+                match oracle::decide_full(shadow, budget, classes, residents, &classes[ci], attach)
+                {
+                    Ok(bound) => Decision::Admit { bound },
+                    Err(reason) => Decision::Reject { reason },
+                };
+            assert_eq!(
+                got, want,
+                "{context}: class {ci} attach {attach} diverged from the oracle"
+            );
+        }
+    }
+}
+
+/// Returns `(successful, failed)` reconfiguration counts so callers
+/// can assert their schedule reached the arm they exist to cover.
+fn stress_one_seed(seed: u64, budget_extra: Option<i64>) -> (u32, u32) {
+    let mut rng = Rng(seed);
+    let local = pipeline(&[24, 9, 16, 30]);
+    let n = local.nodes.len();
+    let budget = budget_extra.map(|x| local.source.burst + Rat::int(x));
+
+    let mut engine = AdmissionEngine::new();
+    let tenant = engine.add_tenant(local.clone(), budget).unwrap();
+    let classes = classes();
+    let ids: Vec<ClassId> = classes
+        .iter()
+        .map(|c| engine.register_class(c.clone()).unwrap())
+        .collect();
+
+    // Shadow state the oracle sees: the pipeline as reconfigured so
+    // far, and the resident (attach, class) pairs in admission order.
+    let mut shadow = local;
+    let mut residents: Vec<(usize, ClassId)> = Vec::new();
+    let mut reconfigs = 0u32;
+    let mut failed_reconfigs = 0u32;
+
+    for step in 0..200 {
+        match rng.below(5) {
+            // Admission decision (committing): engine result must match
+            // the oracle, and an admit joins the resident set.
+            0..=2 => {
+                let ci = rng.below(ids.len() as u64) as usize;
+                let attach = rng.below(n as u64) as usize;
+                let got = engine.decide(tenant, ids[ci], attach).unwrap();
+                let want = match oracle::decide_full(
+                    &shadow,
+                    budget,
+                    &classes,
+                    &residents,
+                    &classes[ci],
+                    attach,
+                ) {
+                    Ok(bound) => Decision::Admit { bound },
+                    Err(reason) => Decision::Reject { reason },
+                };
+                assert_eq!(got, want, "seed {seed} step {step}: decide diverged");
+                if got.is_admitted() {
+                    residents.push((attach, ids[ci]));
+                }
+            }
+            // Departure of a random resident.
+            3 => {
+                if residents.is_empty() {
+                    continue;
+                }
+                let ix = rng.below(residents.len() as u64) as usize;
+                let (attach, class) = residents.remove(ix);
+                engine
+                    .depart(tenant, class, attach, Placement::Local)
+                    .unwrap();
+            }
+            // Reconfiguration: replace a random stage with a random
+            // re-provisioning, then probe full oracle equality. One
+            // draw in six proposes a degenerate zero-rate stage, which
+            // onboarding must reject without touching the engine.
+            _ => {
+                let stage = rng.below(n as u64) as usize;
+                let rate = if rng.below(6) == 0 {
+                    0
+                } else {
+                    4 + rng.below(37) as i64
+                };
+                let job = 1 + rng.below(8) as i64;
+                let lat = rng.below(4) as i64;
+                let next = node(stage, rate, job, lat);
+                match engine.reconfigure_stage(tenant, stage, next.clone()) {
+                    Ok(_evicted) => {
+                        shadow.nodes[stage] = next;
+                        reconfigs += 1;
+                        assert_oracle_equal(
+                            &mut engine,
+                            tenant,
+                            &shadow,
+                            budget,
+                            &classes,
+                            &ids,
+                            &residents,
+                            &format!("seed {seed} step {step} (after reconfigure)"),
+                        );
+                    }
+                    Err(_) => {
+                        // Rejected provisioning (a zero-rate stage is
+                        // not a valid pipeline): the engine must be
+                        // untouched — the unchanged shadow still agrees.
+                        failed_reconfigs += 1;
+                        assert_eq!(rate, 0, "only the degenerate node may be rejected");
+                        assert_oracle_equal(
+                            &mut engine,
+                            tenant,
+                            &shadow,
+                            budget,
+                            &classes,
+                            &ids,
+                            &residents,
+                            &format!("seed {seed} step {step} (failed reconfigure)"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        reconfigs >= 10,
+        "seed {seed}: degenerate schedule, only {reconfigs} reconfigurations"
+    );
+    (reconfigs, failed_reconfigs)
+}
+
+#[test]
+fn reconfigure_under_admission_load_matches_oracle() {
+    let (_, failed_a) = stress_one_seed(7, None);
+    let (_, failed_b) = stress_one_seed(23, Some(24));
+    assert!(
+        failed_a + failed_b > 0,
+        "no schedule exercised a rejected reconfiguration"
+    );
+}
+
+#[test]
+fn reconfigure_with_tight_budget_matches_oracle() {
+    // A small budget makes placement-cap and budget rejections
+    // reachable in the decision probes after each reconfiguration.
+    stress_one_seed(101, Some(2));
+}

@@ -6,10 +6,11 @@
 //! The parallel engine's results are bit-identical across worker
 //! counts (property-tested in `nc-streamsim/tests/prop_par.rs`), so
 //! these rows time the *same computation* under different thread
-//! partitions. On a single-vCPU host every worker count serializes and
-//! the rows measure pure synchronization overhead; the speedup target
-//! (≥2x at 4 workers on the 1 GiB run) is only observable on hosts
-//! with ≥4 cores.
+//! partitions. Worker counts above the host's cores would benchmark
+//! pure contention, not the engine, so they are skipped with a printed
+//! notice (the same policy as `perfbase` and `scripts/perfgate.sh`);
+//! the speedup target (≥2x at 4 workers on the 1 GiB run) is only
+//! observable on hosts with ≥4 cores.
 //!
 //! `PAR_SCALING_SMOKE=1` (the `check.sh` lane) drops the 1 GiB rows so
 //! `--test` mode stays fast.
@@ -31,6 +32,7 @@ fn config(total: u64, workers: Option<usize>) -> SimConfig {
 fn bench_par_scaling(c: &mut Criterion) {
     let pipeline = bitw::sim_pipeline();
     let smoke = std::env::var_os("PAR_SCALING_SMOKE").is_some();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let sizes: &[(&str, u64)] = if smoke {
         &[("bitw_64MiB", 64 << 20)]
     } else {
@@ -44,6 +46,13 @@ fn bench_par_scaling(c: &mut Criterion) {
             b.iter(|| black_box(simulate(&pipeline, &cfg)))
         });
         for workers in [1usize, 2, 4, 8] {
+            if workers > host_cpus {
+                println!(
+                    "par_scaling/{name}: skipping workers={workers} \
+                     (> host_cpus={host_cpus}: would benchmark contention, not scaling)"
+                );
+                continue;
+            }
             g.bench_with_input(BenchmarkId::new("par", workers), &workers, |b, &w| {
                 let cfg = config(total, Some(w));
                 b.iter(|| black_box(simulate(&pipeline, &cfg)))

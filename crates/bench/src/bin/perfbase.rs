@@ -13,9 +13,12 @@
 //! (10³ independent seeded tenant simulations sharing one pooled
 //! arena), and the admission-control engine (DESIGN.md §13 — the warm
 //! incremental decision path, a full trace replay, and the cold-start
-//! full-recompute ablation), then writes the whole snapshot to
-//! `BENCH_5.json` at the workspace root — next to the earlier PRs'
-//! `BENCH_1.json`–`BENCH_4.json` — so perf regressions show up in
+//! full-recompute ablation), the striped-fleet row (tenants striped
+//! over OS workers, one arena per worker), and the watermark
+//! publication-batching ablation (`NC_PUB_QUANTUM` 256 vs 1, with
+//! publish counts), then writes the whole snapshot to `BENCH_6.json`
+//! at the workspace root — next to the earlier PRs'
+//! `BENCH_1.json`–`BENCH_5.json` — so perf regressions show up in
 //! review diffs.
 //!
 //! The snapshot records `host_cpus`: parallel-engine rows are only
@@ -89,6 +92,16 @@ struct ParScalingRow {
 }
 
 #[derive(Serialize)]
+struct PublishRow {
+    what: String,
+    /// Events per watermark publication (`NC_PUB_QUANTUM`).
+    quantum: u32,
+    /// Link publications (flushes) during the timed run.
+    publishes: u64,
+    per_run_s: f64,
+}
+
+#[derive(Serialize)]
 struct AdmissionRow {
     what: String,
     /// Decisions per measured unit (pair, trace, or single call).
@@ -110,6 +123,7 @@ struct Baseline {
     ablations: Vec<Ablation>,
     sweeps: Vec<SweepBench>,
     par_scaling: Vec<ParScalingRow>,
+    publish_ablation: Vec<PublishRow>,
 }
 
 fn lb(r: i64, b: i64) -> Curve {
@@ -593,8 +607,22 @@ fn main() {
     for (label, total) in [("BITW 64 MiB", 64u64 << 20), ("BITW 1 GiB", 1 << 30)] {
         let mut cfg_par = cfg_thin.clone();
         cfg_par.total_input = total;
-        let worker_axis = [None, Some(1), Some(2), Some(4)];
-        let mut best = [f64::INFINITY; 4];
+        // Worker counts above the host's cores measure oversubscription,
+        // not the engine — skip them (mirrors perfgate.sh / par_scaling).
+        let worker_axis: Vec<Option<usize>> = [None, Some(1), Some(2), Some(4)]
+            .into_iter()
+            .filter(|w| match w {
+                Some(n) if *n > host_cpus => {
+                    println!(
+                        "  skipping workers={n} (> host_cpus={host_cpus}: oversubscription, \
+                         not engine scaling)"
+                    );
+                    false
+                }
+                _ => true,
+            })
+            .collect();
+        let mut best = vec![f64::INFINITY; worker_axis.len()];
         for _ in 0..3 {
             for (slot, w) in worker_axis.iter().enumerate() {
                 cfg_par.workers = *w;
@@ -626,8 +654,92 @@ fn main() {
         }
     }
 
+    // Watermark publication-batching ablation: the par engine at one
+    // worker with the default 256-event quantum vs per-event
+    // publication (`NC_PUB_QUANTUM=1`, the pre-overhaul behavior).
+    // Publish counts come from the link layer's global flush counter;
+    // the quantum changes publication *timing* only, never results
+    // (prop_par pins bit-identity with batching active).
+    println!("perf baseline: watermark publication batching (par@1, BITW 64 MiB)");
+    let mut publish_ablation = Vec::new();
+    {
+        let mut cfg_pub = cfg_thin.clone();
+        cfg_pub.total_input = 64 << 20;
+        cfg_pub.workers = Some(1);
+        for quantum in [256u32, 1] {
+            std::env::set_var("NC_PUB_QUANTUM", quantum.to_string());
+            let mut best = f64::INFINITY;
+            let mut publishes = 0u64;
+            for _ in 0..3 {
+                nc_des::link::take_publish_count(); // drain other sections' counts
+                let t = Instant::now();
+                std::hint::black_box(simulate(&pw, &cfg_pub));
+                let dt = t.elapsed().as_secs_f64();
+                let count = nc_des::link::take_publish_count();
+                if dt < best {
+                    best = dt;
+                    publishes = count;
+                }
+            }
+            println!(
+                "  {:<40} quantum {:>4} {:>12.3e}s  ({publishes} publishes)",
+                "streamsim par@1 BITW 64 MiB", quantum, best
+            );
+            publish_ablation.push(PublishRow {
+                what: "streamsim par@1 BITW 64 MiB".into(),
+                quantum,
+                publishes,
+                per_run_s: best,
+            });
+        }
+        std::env::remove_var("NC_PUB_QUANTUM");
+    }
+
+    // Striped-fleet row: the same 1000-tenant fleet, striped over OS
+    // workers with one pooled arena per worker and a deterministic
+    // tenant-order merge (`nc_bench::fleet`; the merged CSV is
+    // byte-identical for any worker count — check.sh asserts it).
+    // Worker counts beyond the host's cores are skipped like the
+    // scaling rows above.
+    println!("perf baseline: striped fleet (1000 tenants, one arena per worker)");
+    {
+        let fcfg = nc_bench::fleet::FleetConfig {
+            tenants: fleet_n,
+            input_bytes: 256 << 10,
+        };
+        for workers in [1usize, 2, 4] {
+            if workers > host_cpus {
+                println!(
+                    "  skipping workers={workers} (> host_cpus={host_cpus}: oversubscription, \
+                     not engine scaling)"
+                );
+                continue;
+            }
+            let mut best = f64::INFINITY;
+            let mut events = 0u64;
+            for _ in 0..3 {
+                let t = Instant::now();
+                let rows = nc_bench::fleet::run_striped(&fcfg, workers);
+                best = best.min(t.elapsed().as_secs_f64());
+                events = rows.iter().map(|r| r.events).sum();
+            }
+            println!(
+                "  {:<40} {:>12.3e}s  ({} events, {:.3e} events/s)",
+                format!("streamsim fleet striped @{workers}w"),
+                best,
+                events,
+                events as f64 / best
+            );
+            sims.push(SimTime {
+                what: format!("streamsim fleet 1000 tenants x 256 KiB (striped @{workers}w)"),
+                events,
+                per_run_s: best,
+            });
+        }
+    }
+
     let baseline = Baseline {
-        schema: "nc-perfbase-v5",
+        schema: "nc-perfbase-v6",
         command: "cargo run --release -p nc-bench --bin perfbase",
         host_cpus,
         bins,
@@ -636,6 +748,7 @@ fn main() {
         ablations,
         sweeps,
         par_scaling,
+        publish_ablation,
     };
     let root = nc_bench::results_dir()
         .parent()
@@ -643,7 +756,7 @@ fn main() {
         .to_path_buf();
     let path = match std::env::var_os("PERFBASE_OUT") {
         Some(p) => std::path::PathBuf::from(p),
-        None => root.join("BENCH_5.json"),
+        None => root.join("BENCH_6.json"),
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));

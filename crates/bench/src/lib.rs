@@ -497,6 +497,186 @@ pub mod admitload {
     }
 }
 
+pub mod fleet {
+    //! Striped fleet simulation: many independent seeded tenant
+    //! pipelines batch-simulated across `NC_THREADS` OS workers.
+    //!
+    //! The fleet loop is embarrassingly parallel — each tenant's run
+    //! depends only on its own seed — so tenants are striped
+    //! round-robin over the workers, each worker owns one pooled
+    //! [`SimArena`] (allocations amortize within a stripe exactly as
+    //! they do in the serial loop), and the per-tenant rows are merged
+    //! back in tenant order. The merged CSV is therefore **byte
+    //! identical for any `NC_THREADS`**, which `scripts/check.sh`
+    //! asserts; wall time is the only thing the worker count changes.
+
+    use nc_apps::bitw;
+    use nc_streamsim::{simulate_in, SimArena, SimResult};
+
+    /// Fleet shape, from the environment: `FLEET_TENANTS` (default
+    /// 1000) seeded tenants pushing `FLEET_INPUT_KIB` (default 256)
+    /// KiB each through the bump-in-the-wire pipeline.
+    #[derive(Clone, Copy, Debug)]
+    pub struct FleetConfig {
+        /// Number of seeded tenants.
+        pub tenants: u64,
+        /// Input volume per tenant, bytes.
+        pub input_bytes: u64,
+    }
+
+    impl FleetConfig {
+        /// Read the fleet shape from `FLEET_TENANTS`/`FLEET_INPUT_KIB`.
+        pub fn from_env() -> Self {
+            let get = |k: &str, default: u64| {
+                std::env::var(k)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u64>().ok())
+                    .filter(|&v| v >= 1)
+                    .unwrap_or(default)
+            };
+            FleetConfig {
+                tenants: get("FLEET_TENANTS", 1000),
+                input_bytes: get("FLEET_INPUT_KIB", 256) << 10,
+            }
+        }
+    }
+
+    /// One tenant's volume/latency observables (the RNG-free fields
+    /// plus the delay tally — everything `SimResult` reports that a
+    /// fleet operator would chart).
+    #[derive(Clone, Debug)]
+    pub struct TenantRow {
+        /// Tenant index (also seeds the run as `tenant + 1`).
+        pub tenant: u64,
+        /// Events processed by the engine for this tenant.
+        pub events: u64,
+        /// Input-referred bytes delivered.
+        pub bytes_out: f64,
+        /// Last output time, seconds.
+        pub makespan: f64,
+        /// Mean virtual delay, seconds.
+        pub delay_mean: f64,
+        /// Peak input-referred backlog, bytes.
+        pub peak_backlog: f64,
+    }
+
+    impl TenantRow {
+        fn from_result(tenant: u64, r: &SimResult) -> Self {
+            TenantRow {
+                tenant,
+                events: r.events,
+                bytes_out: r.bytes_out,
+                makespan: r.makespan,
+                delay_mean: r.delay_mean,
+                peak_backlog: r.peak_backlog,
+            }
+        }
+
+        /// CSV serialization (float `Display` is exact-shortest, so
+        /// equal results serialize to equal bytes).
+        pub fn to_csv(&self) -> String {
+            format!(
+                "{},{},{},{},{},{}",
+                self.tenant,
+                self.events,
+                self.bytes_out,
+                self.makespan,
+                self.delay_mean,
+                self.peak_backlog
+            )
+        }
+
+        /// Header matching [`Self::to_csv`].
+        pub fn csv_header() -> &'static str {
+            "tenant,events,bytes_out,makespan_s,delay_mean_s,peak_backlog_bytes"
+        }
+    }
+
+    /// Simulate one stripe of tenants through one pooled arena.
+    pub fn replay_stripe(
+        cfg: &FleetConfig,
+        tenants: &[u64],
+        arena: &mut SimArena,
+    ) -> Vec<TenantRow> {
+        let pipeline = bitw::sim_pipeline();
+        tenants
+            .iter()
+            .map(|&tenant| {
+                let mut c = bitw::sim_config(tenant + 1);
+                c.trace = false;
+                c.total_input = cfg.input_bytes;
+                TenantRow::from_result(tenant, &simulate_in(arena, &pipeline, &c))
+            })
+            .collect()
+    }
+
+    /// Run the whole fleet striped over `workers` OS threads (one
+    /// arena per worker) and merge the rows back in tenant order.
+    pub fn run_striped(cfg: &FleetConfig, workers: usize) -> Vec<TenantRow> {
+        let workers = workers.clamp(1, cfg.tenants.max(1) as usize);
+        if workers == 1 {
+            let mut arena = SimArena::default();
+            return replay_stripe(cfg, &(0..cfg.tenants).collect::<Vec<_>>(), &mut arena);
+        }
+        let stripes: Vec<Vec<u64>> = {
+            let mut s = vec![Vec::new(); workers];
+            for t in 0..cfg.tenants {
+                s[(t % workers as u64) as usize].push(t);
+            }
+            s
+        };
+        let mut rows: Vec<TenantRow> = std::thread::scope(|scope| {
+            let handles: Vec<_> = stripes
+                .iter()
+                .map(|stripe| {
+                    scope.spawn(move || {
+                        let mut arena = SimArena::default();
+                        replay_stripe(cfg, stripe, &mut arena)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fleet worker panicked"))
+                .collect()
+        });
+        rows.sort_by_key(|r| r.tenant);
+        rows
+    }
+
+    /// Render the merged rows as the `fleet.csv` artifact body.
+    pub fn to_csv(rows: &[TenantRow]) -> String {
+        let mut out = String::from(TenantRow::csv_header());
+        out.push('\n');
+        for r in rows {
+            out.push_str(&r.to_csv());
+            out.push('\n');
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn striped_fleet_is_worker_count_invariant() {
+            let cfg = FleetConfig {
+                tenants: 7,
+                input_bytes: 64 << 10,
+            };
+            let serial = to_csv(&run_striped(&cfg, 1));
+            for workers in [2, 3, 7] {
+                assert_eq!(
+                    serial,
+                    to_csv(&run_striped(&cfg, workers)),
+                    "workers={workers}"
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,7 +46,33 @@
 //! anything but wall-clock backlog caps, which consumers drain.
 //! Bounded-queue configurations and `ServiceModel::Deterministic` fall
 //! back to the sequential engines (see [`crate::engine::simulate_in`]).
+//!
+//! **Synchronization cost (DESIGN.md §12 addendum).** All cross-thread
+//! state is touched once per *quantum*, not once per event: an LP polls
+//! its inputs (two atomic loads when nothing changed), checks downstream
+//! backlog (one atomic load), then processes every merged event strictly
+//! below the now-frozen frontier with zero shared-memory traffic,
+//! publishing its outputs and watermark once per `NC_PUB_QUANTUM` events
+//! (default 256; `1` restores per-event publication, the ablation
+//! baseline in `perfbase`). A stale frontier is always *sound* — the
+//! cached watermark is a promise that only under-estimates how far the
+//! consumer may advance — so batching affects liveness only, and the
+//! staleness is bounded: an LP also publishes whenever its clock has
+//! advanced more than `quantum` lookahead windows past its last
+//! publication, so a consumer never lags its producer by more than one
+//! quantum of NC-derived lookahead. With `workers = 1` every LP runs
+//! round-robin on one thread and the amortized per-event cost approaches
+//! the sequential engine's (the BENCH_6 overhead row).
+//!
+//! **Adaptive sharding.** With `workers > 1` the LP chain is first
+//! partitioned by *expected* per-LP event counts, run for a warmup
+//! window (1/8 of the expected events, clamped), then re-partitioned by
+//! the *measured* per-LP event counts and run to completion. The
+//! partition decides only which thread runs an LP, so the warmup
+//! measurement — wall-clock noisy as it is — can never perturb a result
+//! bit (`prop_par.rs` pins this with repartitioning active).
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nc_core::pipeline::Pipeline;
@@ -101,6 +127,29 @@ enum Run {
     Blocked,
     /// This LP will never produce another event.
     Finished,
+}
+
+/// Outcome of one lock-free processing burst between synchronization
+/// points (see [`StageLp::drain`]).
+enum Drained {
+    /// Processed at least one event.
+    Worked,
+    /// Nothing processable below the cached frontier.
+    Idle,
+    /// Every channel exhausted, nothing in flight: the LP is done.
+    Finished,
+}
+
+/// The publication quantum: events processed by an LP between watermark
+/// publications. `NC_PUB_QUANTUM=1` restores per-event publication (the
+/// ablation baseline); the default batches 256 events per publication.
+/// Publication timing affects liveness only, never results.
+fn publish_quantum() -> u32 {
+    std::env::var("NC_PUB_QUANTUM")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .filter(|&q| q >= 1)
+        .unwrap_or(256)
 }
 
 /// Per-LP RNG stream: a ChaCha8 key counter-derived from
@@ -264,6 +313,18 @@ struct StageLp {
     dropped_norm: f64,
     now: f64,
     events_since_flush: u32,
+    /// Publication quantum (events per watermark publication).
+    quantum: u32,
+    /// Bounded-staleness cap: publish when the LP clock has advanced
+    /// this far past the last publication (`∞` when the stage has no
+    /// positive pacing floor — the event-count quantum then bounds the
+    /// batch instead).
+    stale_cap: f64,
+    /// LP clock at the last publication.
+    last_pub_now: f64,
+    /// Total merged events processed (the adaptive-sharding load
+    /// measure).
+    work: u64,
     done: bool,
 }
 
@@ -274,6 +335,11 @@ impl StageLp {
         }
         let mut progress = false;
         loop {
+            // One synchronization point per burst, not per event: drain
+            // the shared queues, refresh the cached watermarks (two
+            // atomic loads per idle channel), check downstream backlog
+            // (one atomic load), then process everything below the
+            // now-frozen frontier with no shared-memory traffic at all.
             self.input.poll();
             if let StageOut::Sink(sink) = &mut self.out {
                 sink.steps.poll();
@@ -291,7 +357,95 @@ impl StageLp {
                     };
                 }
             }
+            match self.drain() {
+                Drained::Finished => {
+                    self.finish_lp();
+                    return Run::Finished;
+                }
+                Drained::Worked => progress = true,
+                Drained::Idle => {
+                    self.publish();
+                    return if progress {
+                        Run::Progress
+                    } else {
+                        Run::Blocked
+                    };
+                }
+            }
+        }
+    }
 
+    /// Process every merged event strictly below the *cached* input
+    /// frontier — a pure in-cache loop between synchronization points.
+    /// The cached watermarks only under-promise (staleness is sound),
+    /// so any event this admits would also be admitted with fresh
+    /// state; mid-burst publications follow the quantum/staleness
+    /// policy so downstream LPs are never starved.
+    fn drain(&mut self) -> Drained {
+        match self.out {
+            StageOut::Link(_) => self.drain_mid(),
+            StageOut::Sink(_) => self.drain_last(),
+        }
+    }
+
+    /// Mid-chain specialization of the merge: only two channels exist
+    /// (own completion, upstream arrivals), so the k-way scan collapses
+    /// to a three-armed branch with `+∞` sentinels. Semantics are
+    /// exactly [`Self::drain_last`]'s generic merge restricted to those
+    /// channels — Completion orders before Arrival at equal times, any
+    /// event must lie strictly below the empty-inbox watermark bound.
+    fn drain_mid(&mut self) -> Drained {
+        let mut worked = false;
+        loop {
+            let busy = self.busy_until.unwrap_or(f64::INFINITY);
+            // (event time, is-completion, bound gating it)
+            let (t, completion, bound) = match self.input.front() {
+                Some(m) if busy <= m.t => (busy, true, f64::INFINITY),
+                Some(m) => (m.t, false, f64::INFINITY),
+                None => (busy, true, self.input.watermark()),
+            };
+            if t >= bound {
+                if t.is_infinite() && bound.is_infinite() {
+                    // Nothing in flight, input exhausted: done forever.
+                    return Drained::Finished;
+                }
+                return if worked {
+                    Drained::Worked
+                } else {
+                    Drained::Idle
+                };
+            }
+            debug_assert!(t >= self.now, "LP clock must be monotone");
+            self.now = t;
+            if completion {
+                self.complete(t);
+            } else {
+                let m = self.input.pop().expect("arrival head");
+                self.queue.put(Time::secs(t), m.bytes);
+                self.try_start(t);
+            }
+            worked = true;
+            self.work += 1;
+            self.events_since_flush += 1;
+            if self.events_since_flush >= self.quantum
+                || self.now - self.last_pub_now >= self.stale_cap
+            {
+                self.publish();
+                if let StageOut::Link(tx) = &self.out {
+                    if tx.backlogged() {
+                        // Let the caller's synchronization point park us.
+                        return Drained::Worked;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Last-stage merge: the stage's own two channels plus the sink's
+    /// bookkeeping channels (source stairstep, upstream drop streams).
+    fn drain_last(&mut self) -> Drained {
+        let mut worked = false;
+        loop {
             // The k-way merge: the earliest concrete event, and the
             // earliest frontier of a channel with nothing buffered
             // (below which an unseen event could still arrive).
@@ -325,24 +479,21 @@ impl StageLp {
             let Some((t, class)) = best else {
                 if bound.is_infinite() && self.busy_until.is_none() {
                     // Every channel exhausted, nothing in flight.
-                    self.finish_lp();
-                    return Run::Finished;
+                    return Drained::Finished;
                 }
-                self.publish();
-                return if progress {
-                    Run::Progress
+                return if worked {
+                    Drained::Worked
                 } else {
-                    Run::Blocked
+                    Drained::Idle
                 };
             };
             // Strict: a message at exactly `bound` may still arrive,
             // and same-time events obey the class order above.
             if t >= bound {
-                self.publish();
-                return if progress {
-                    Run::Progress
+                return if worked {
+                    Drained::Worked
                 } else {
-                    Run::Blocked
+                    Drained::Idle
                 };
             }
 
@@ -366,9 +517,14 @@ impl StageLp {
                     self.try_start(t);
                 }
             }
-            progress = true;
+            worked = true;
+            self.work += 1;
             self.events_since_flush += 1;
-            if self.events_since_flush >= 256 {
+            if self.events_since_flush >= self.quantum
+                || self.now - self.last_pub_now >= self.stale_cap
+            {
+                // Sink stages have no output link; this only resets the
+                // quantum counters (drops are accounted inline).
                 self.publish();
             }
         }
@@ -523,10 +679,13 @@ impl StageLp {
     /// Publish buffered outputs and the current watermark promise.
     fn publish(&mut self) {
         self.events_since_flush = 0;
-        let promise = self.promise();
-        if let StageOut::Link(tx) = &mut self.out {
-            tx.set_watermark(promise);
-            tx.flush();
+        self.last_pub_now = self.now;
+        if matches!(self.out, StageOut::Link(_)) {
+            let promise = self.promise();
+            if let StageOut::Link(tx) = &mut self.out {
+                tx.set_watermark(promise);
+                tx.flush();
+            }
         }
         if let Some(tx) = &mut self.drop_tx {
             // Future drops happen at future event times of this LP.
@@ -625,14 +784,52 @@ impl Lp {
             Lp::Stage(s) => s.run(),
         }
     }
+
+    /// Events this LP has processed so far (the adaptive-sharding load
+    /// measure; scheduling-independent by worker-count determinism).
+    fn work(&self) -> u64 {
+        match self {
+            Lp::Source(s) => s.emissions,
+            Lp::Stage(s) => s.work,
+        }
+    }
+
+    fn done(&self) -> bool {
+        match self {
+            Lp::Source(s) => s.done,
+            Lp::Stage(s) => s.done,
+        }
+    }
 }
 
-/// Run `lps` to completion on the calling thread, parking on `gate`
-/// when every LP is blocked. `solo` workers have nobody to wait for:
-/// a fully blocked pass is a protocol bug, not a race.
-fn run_worker(lps: &mut [Lp], gate: &ProgressGate, solo: bool) {
+/// Shared warmup-window control for adaptive sharding. Workers add
+/// their per-pass processed-event deltas to `counter`; whoever makes
+/// the total cross `target` raises `stop` and bumps the gate so parked
+/// peers wake, observe the flag at their loop top, and return. LPs
+/// always publish before their `run` returns, so stopping between
+/// passes leaves every channel consistent for the next phase.
+struct Warmup {
+    stop: AtomicBool,
+    counter: AtomicU64,
+    target: u64,
+}
+
+/// Run `lps` on the calling thread, parking on `gate` when every LP is
+/// blocked; returns when all LPs finish, or (with `warmup`) as soon as
+/// the fleet-wide warmup window closes. `solo` workers have nobody to
+/// wait for: a fully blocked pass is a protocol bug, not a race.
+fn run_worker(lps: &mut [Lp], gate: &ProgressGate, solo: bool, warmup: Option<&Warmup>) {
     loop {
+        if let Some(w) = warmup {
+            if w.stop.load(Ordering::Relaxed) {
+                return;
+            }
+        }
         let seen = gate.generation();
+        let before: u64 = match warmup {
+            Some(_) => lps.iter().map(Lp::work).sum(),
+            None => 0,
+        };
         let mut progress = false;
         let mut all_done = true;
         for lp in lps.iter_mut() {
@@ -645,6 +842,18 @@ fn run_worker(lps: &mut [Lp], gate: &ProgressGate, solo: bool) {
                 Run::Finished => {}
             }
         }
+        if let Some(w) = warmup {
+            let delta = lps.iter().map(Lp::work).sum::<u64>() - before;
+            let crossed =
+                delta > 0 && w.counter.fetch_add(delta, Ordering::Relaxed) + delta >= w.target;
+            if crossed || all_done {
+                // Window closed (or this shard finished outright, which
+                // makes the static partition stale): end the phase.
+                w.stop.store(true, Ordering::Relaxed);
+                gate.bump();
+                return;
+            }
+        }
         if all_done {
             return;
         }
@@ -653,6 +862,48 @@ fn run_worker(lps: &mut [Lp], gate: &ProgressGate, solo: bool) {
             gate.wait_past(seen);
         }
     }
+}
+
+/// Split `lps` into up to `workers` contiguous shards with balanced
+/// `weight` (thread assignment only — results are shard-independent).
+fn partition_by(lps: Vec<Lp>, workers: usize, weight: impl Fn(&Lp) -> f64) -> Vec<Vec<Lp>> {
+    let total: f64 = lps.iter().map(&weight).sum();
+    let target = total / workers as f64;
+    let mut shards: Vec<Vec<Lp>> = Vec::with_capacity(workers);
+    let mut cur: Vec<Lp> = Vec::new();
+    let mut acc = 0.0;
+    for lp in lps {
+        acc += weight(&lp);
+        cur.push(lp);
+        if acc >= target * (shards.len() + 1) as f64 && shards.len() + 1 < workers {
+            shards.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        shards.push(cur);
+    }
+    shards
+}
+
+/// Run each shard on its own scoped thread; returns the LPs in their
+/// original chain order (shards are contiguous, joins are in order).
+fn run_shards(shards: Vec<Vec<Lp>>, gate: &ProgressGate, warmup: Option<&Warmup>) -> Vec<Lp> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|mut shard| {
+                s.spawn(move || {
+                    run_worker(&mut shard, gate, false, warmup);
+                    shard
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("worker panicked"));
+        }
+        all
+    })
 }
 
 /// Stage-parallel simulation. Semantically mirrors
@@ -707,9 +958,12 @@ pub(crate) fn simulate_par(pipeline: &Pipeline, config: &SimConfig, workers: usi
         ServiceModel::Deterministic => unreachable!(),
     };
 
+    let quantum = publish_quantum();
     let gate = ProgressGate::new();
-    let (src_data_tx, src_data_rx) = link::<DataMsg>(LINK_CAP, &gate);
-    let (steps_tx, steps_rx) = link::<StepMsg>(LINK_CAP, &gate);
+    let (mut src_data_tx, src_data_rx) = link::<DataMsg>(LINK_CAP, &gate);
+    let (mut steps_tx, steps_rx) = link::<StepMsg>(LINK_CAP, &gate);
+    src_data_tx.set_batch(quantum as usize);
+    steps_tx.set_batch(quantum as usize);
 
     // Inter-stage data links and the Drop-policy stages' drop channels
     // to the sink (the last stage accounts its own drops inline).
@@ -719,11 +973,13 @@ pub(crate) fn simulate_par(pipeline: &Pipeline, config: &SimConfig, workers: usi
     let mut drop_rxs: Vec<LinkRx<DropMsg>> = Vec::new();
     for i in 0..n {
         if i + 1 < n {
-            let (tx, rx) = link::<DataMsg>(LINK_CAP, &gate);
+            let (mut tx, rx) = link::<DataMsg>(LINK_CAP, &gate);
+            tx.set_batch(quantum as usize);
             out_txs.push(Some(tx));
             inputs.push(rx);
             if faults.as_ref().is_some_and(|fr| fr.drops(i)) {
-                let (tx, rx) = link::<DropMsg>(LINK_CAP, &gate);
+                let (mut tx, rx) = link::<DropMsg>(LINK_CAP, &gate);
+                tx.set_batch(quantum as usize);
                 drop_txs.push(Some(tx));
                 drop_rxs.push(rx);
             } else {
@@ -781,6 +1037,15 @@ pub(crate) fn simulate_par(pipeline: &Pipeline, config: &SimConfig, workers: usi
             (params[i - 1].job_out, gap_of(&params[i - 1]))
         };
         let exec_floor = gap_of(&p);
+        // Staleness cap: `quantum` NC lookahead windows of simulated
+        // time (infinite when the pacing floor is zero — the
+        // event-count quantum then bounds the batch instead).
+        let window = exec_floor + up_min_gap;
+        let stale_cap = if window > 0.0 {
+            quantum as f64 * window
+        } else {
+            f64::INFINITY
+        };
         lps.push(Lp::Stage(Box::new(StageLp {
             i,
             model: config.service_model,
@@ -805,18 +1070,28 @@ pub(crate) fn simulate_par(pipeline: &Pipeline, config: &SimConfig, workers: usi
             dropped_norm: 0.0,
             now: 0.0,
             events_since_flush: 0,
+            quantum,
+            stale_cap,
+            last_pub_now: 0.0,
+            work: 0,
             done: false,
             p,
         })));
     }
 
-    // Contiguous worker shards, balanced by each LP's expected event
-    // count (thread assignment only — results are shard-independent).
+    // Contiguous worker shards. With one worker (or fewer workers than
+    // LPs after clamping) LPs are merged onto threads round-robin-free:
+    // a 1-worker run is the whole chain on the calling thread, paying
+    // only the amortized atomic traffic above sequential cost. With
+    // more workers, shard first by *expected* per-LP event counts, run
+    // a warmup window, then re-shard by the *measured* counts (thread
+    // assignment only — results are shard-independent, which
+    // `prop_par.rs` pins with repartitioning active).
     let workers = workers.clamp(1, lps.len());
     if workers == 1 {
-        run_worker(&mut lps, &gate, true);
+        run_worker(&mut lps, &gate, true, None);
     } else {
-        let weight = |lp: &Lp| -> f64 {
+        let expected = |lp: &Lp| -> f64 {
             match lp {
                 Lp::Source(_) => (config.total_input as f64 / src_chunk as f64).max(1.0),
                 Lp::Stage(st) => {
@@ -825,38 +1100,24 @@ pub(crate) fn simulate_par(pipeline: &Pipeline, config: &SimConfig, workers: usi
                 }
             }
         };
-        let total: f64 = lps.iter().map(weight).sum();
-        let target = total / workers as f64;
-        let mut shards: Vec<Vec<Lp>> = Vec::with_capacity(workers);
-        let mut cur: Vec<Lp> = Vec::new();
-        let mut acc = 0.0;
-        for lp in lps {
-            acc += weight(&lp);
-            cur.push(lp);
-            if acc >= target * (shards.len() + 1) as f64 && shards.len() + 1 < workers {
-                shards.push(std::mem::take(&mut cur));
+        // Warmup window: 1/8 of the expected events, clamped so tiny
+        // runs barely notice it and huge runs don't over-commit to the
+        // static guess.
+        let target = ((lps.iter().map(expected).sum::<f64>() / 8.0) as u64).clamp(256, 500_000);
+        let warmup = Warmup {
+            stop: AtomicBool::new(false),
+            counter: AtomicU64::new(0),
+            target,
+        };
+        lps = run_shards(partition_by(lps, workers, expected), &gate, Some(&warmup));
+        let measured = |lp: &Lp| -> f64 {
+            if lp.done() {
+                0.0
+            } else {
+                (lp.work() as f64).max(1.0)
             }
-        }
-        if !cur.is_empty() {
-            shards.push(cur);
-        }
-        lps = std::thread::scope(|s| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|mut shard| {
-                    let gate = &gate;
-                    s.spawn(move || {
-                        run_worker(&mut shard, gate, false);
-                        shard
-                    })
-                })
-                .collect();
-            let mut all = Vec::new();
-            for h in handles {
-                all.extend(h.join().expect("worker panicked"));
-            }
-            all
-        });
+        };
+        lps = run_shards(partition_by(lps, workers, measured), &gate, None);
     }
 
     assemble_par(lps, config)

@@ -40,6 +40,14 @@ cmp results/admission.csv /tmp/admission_ambient.csv \
   || { echo "FAIL: admission CSV differs between NC_THREADS=1 and the ambient pool" >&2; exit 1; }
 rm -f /tmp/admission_ambient.csv
 
+echo "==> NC_THREADS determinism: striped fleet CSV byte-identical at 1 vs 2 workers"
+FLEET_TENANTS=20 NC_THREADS=1 cargo run --release -q -p nc-bench --bin fleet > /dev/null
+cp results/fleet.csv /tmp/fleet_1worker.csv
+FLEET_TENANTS=20 NC_THREADS=2 cargo run --release -q -p nc-bench --bin fleet > /dev/null
+cmp results/fleet.csv /tmp/fleet_1worker.csv \
+  || { echo "FAIL: fleet CSV differs between NC_THREADS=1 and NC_THREADS=2" >&2; exit 1; }
+rm -f /tmp/fleet_1worker.csv
+
 echo "==> faults gate: degraded bounds contain every faulted run"
 cargo run --release -q -p nc-bench --bin faults > /dev/null
 

@@ -86,6 +86,14 @@ def rows(snapshot):
 
 (old, old_workers), (new, _) = rows(base), rows(cur)
 shared = sorted(old.keys() & new.keys())
+# Rows present on only one side are informational, never a failure:
+# a newly added row has no baseline yet (it gets one when the next
+# BENCH_*.json is committed), and a removed/renamed row just drops
+# out of the comparison.
+for kind, name in sorted(new.keys() - old.keys()):
+    print(f"perfgate: note — new row, no baseline: {kind} {name}")
+for kind, name in sorted(old.keys() - new.keys()):
+    print(f"perfgate: note — baseline row absent from this run: {kind} {name}")
 host_cpus = cur.get("host_cpus") or 1
 skipped = [k for k in shared if k[0] == "par" and old_workers.get(k[1], 0) > host_cpus]
 if skipped:
